@@ -1,0 +1,78 @@
+// Command fixasm is the FixVM toolchain front end: it assembles fixasm
+// text into validated codelet bytecode (and back).
+//
+// Usage:
+//
+//	fixasm prog.fasm            # assemble to prog.fvm
+//	fixasm -o out.fvm prog.fasm
+//	fixasm -d prog.fvm          # disassemble to stdout
+//	fixasm -stdlib add          # print a standard-library codelet source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fixgo/internal/codelet"
+)
+
+var stdlib = map[string]string{
+	"add":    codelet.AddSrc,
+	"inc":    codelet.IncSrc,
+	"if":     codelet.IfSrc,
+	"fib":    codelet.FibSrc,
+	"concat": codelet.ConcatSrc,
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .fvm)")
+	disasm := flag.Bool("d", false, "disassemble instead of assembling")
+	lib := flag.String("stdlib", "", "print a standard codelet source (add inc if fib concat)")
+	flag.Parse()
+
+	if *lib != "" {
+		src, ok := stdlib[*lib]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fixasm: no stdlib codelet %q\n", *lib)
+			os.Exit(1)
+		}
+		fmt.Print(src)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fixasm [-d] [-o out] file")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	data, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		text, err := codelet.Disassemble(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	bc, err := codelet.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".fasm") + ".fvm"
+	}
+	if err := os.WriteFile(dst, bc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes of bytecode\n", dst, len(bc))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fixasm:", err)
+	os.Exit(1)
+}

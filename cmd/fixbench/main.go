@@ -1,0 +1,62 @@
+// Command fixbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fixbench                 # run every experiment at the default scale
+//	fixbench -exp fig8b      # run one experiment
+//	fixbench -scale paper    # use parameters close to the paper's
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fixgo/internal/bench"
+)
+
+func main() {
+	bench.RunChildIfRequested()
+	exp := flag.String("exp", "all", "experiment id (fig7a fig7b fig8a fig8b fig9 fig10) or all")
+	scaleName := flag.String("scale", "default", "default | paper")
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	if *scaleName == "paper" {
+		scale = bench.PaperScale()
+	}
+
+	run := func(id string, fn func(bench.Scale) (bench.Result, error)) bool {
+		fmt.Printf("running %s...\n", id)
+		res, err := fn(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			return false
+		}
+		fmt.Println(res.String())
+		return true
+	}
+
+	ok := true
+	if *exp == "all" {
+		for _, e := range bench.Experiments {
+			ok = run(e.ID, e.Run) && ok
+		}
+	} else {
+		found := false
+		for _, e := range bench.Experiments {
+			if e.ID == *exp {
+				ok = run(e.ID, e.Run)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

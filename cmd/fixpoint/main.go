@@ -1,0 +1,85 @@
+// Command fixpoint runs a Fixpoint node: a runtime for programs expressed
+// in the Fix ABI that accepts peers and clients over TCP.
+//
+// Usage:
+//
+//	fixpoint -listen :7600 -id node-a
+//	fixpoint -listen :7601 -id node-b -peers host-a:7600
+//
+// Nodes exchange object advertisements on connect and thereafter delegate
+// jobs by data locality. Clients (cmd/fixctl) connect the same way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"fixgo/internal/bptree"
+	"fixgo/internal/buildsys"
+	"fixgo/internal/cluster"
+	"fixgo/internal/flatware"
+	"fixgo/internal/runtime"
+	"fixgo/internal/transport"
+	"fixgo/internal/wiki"
+)
+
+func main() {
+	listen := flag.String("listen", ":7600", "TCP listen address")
+	id := flag.String("id", "", "node identifier (default: listen address)")
+	peers := flag.String("peers", "", "comma-separated peer addresses to dial")
+	cores := flag.Int("cores", 32, "CPU slots")
+	memGiB := flag.Uint64("mem-gib", 64, "RAM capacity in GiB")
+	internalIO := flag.Bool("internal-io", false, "ablation: claim resources before dependencies arrive")
+	noLocality := flag.Bool("no-locality", false, "ablation: random placement")
+	flag.Parse()
+
+	if *id == "" {
+		*id = *listen
+	}
+	reg := runtime.NewRegistry()
+	wiki.Register(reg, wiki.Config{})
+	buildsys.Register(reg, buildsys.Config{})
+	bptree.Register(reg)
+	flatware.RegisterGetFile(reg)
+	flatware.RegisterSeBS(reg)
+
+	node := cluster.NewNode(*id, cluster.NodeOptions{
+		Cores:       *cores,
+		MemoryBytes: *memGiB << 30,
+		InternalIO:  *internalIO,
+		NoLocality:  *noLocality,
+		Registry:    reg,
+	})
+
+	for _, addr := range strings.Split(*peers, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fixpoint: dial %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		node.AttachPeer(conn)
+		fmt.Printf("fixpoint: connected to peer %s\n", addr)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixpoint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fixpoint: node %s listening on %s (%d cores, %d GiB)\n", *id, *listen, *cores, *memGiB)
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fixpoint: accept:", err)
+			return
+		}
+		node.AttachPeer(transport.NewTCP(c))
+	}
+}

@@ -1,0 +1,24 @@
+// Package fixgo is a from-scratch Go reproduction of "Fix: externalizing
+// network I/O in serverless computing" (EuroSys '26): the Fix ABI, the
+// Fixpoint runtime, the substrates its evaluation depends on, and a
+// benchmark harness that regenerates every table and figure of the paper.
+//
+// The library lives under internal/:
+//
+//   - internal/core      — the Fix ABI (Handles, Blobs, Trees, Thunks, Encodes)
+//   - internal/store     — content-addressed runtime storage with memoization
+//   - internal/codelet   — FixVM, the sandboxed deterministic codelet VM
+//   - internal/runtime   — the Fixpoint engine (late-binding evaluator)
+//   - internal/cluster   — the distributed engine and dataflow-aware scheduler
+//   - internal/transport, internal/proto, internal/objstore — networking
+//   - internal/baselines — OpenWhisk/Ray/Pheromone/Faasm re-implementations
+//   - internal/flatware, internal/bptree, internal/wiki, internal/buildsys —
+//     the evaluation workloads
+//   - internal/bench     — one experiment per table/figure
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=. -benchmem
+package fixgo

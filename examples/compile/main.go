@@ -1,0 +1,66 @@
+// Compile: the burst-parallel software build of §5.5 (Fig. 10) on a
+// simulated Fixpoint cluster — parallel compile invocations feeding one
+// link, with every dependency uploaded from a client node, then an
+// incremental rebuild showing memoization: editing one source re-runs
+// exactly one compile plus the link.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"fixgo/internal/buildsys"
+	"fixgo/internal/cluster"
+	"fixgo/internal/runtime"
+	"fixgo/internal/transport"
+)
+
+func main() {
+	reg := runtime.NewRegistry()
+	buildsys.Register(reg, buildsys.Config{CompileTime: 5 * time.Millisecond, LinkTime: 15 * time.Millisecond})
+
+	client := cluster.NewNode("client", cluster.NodeOptions{Cores: 1, ClientOnly: true, Registry: reg})
+	defer client.Close()
+	link := transport.LinkConfig{Latency: 300 * time.Microsecond, Bandwidth: 32 << 20}
+	var workers []*cluster.Node
+	for i := 0; i < 4; i++ {
+		w := cluster.NewNode(fmt.Sprintf("w%d", i), cluster.NodeOptions{Cores: 8, Registry: reg})
+		defer w.Close()
+		workers = append(workers, w)
+	}
+	cluster.FullMesh(link, workers...)
+	for _, w := range workers {
+		cluster.Connect(client, w, link)
+	}
+
+	project := buildsys.GenProject(1, 40, 4<<10, 16<<10)
+	job, err := buildsys.BuildJob(client.Store(), project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	bin, err := client.EvalBlob(context.Background(), job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full build: %d sources → %d-byte binary in %v\n",
+		len(project.Sources), len(bin), time.Since(start).Round(time.Millisecond))
+	for _, w := range workers {
+		fmt.Printf("  %s compiled %d units\n", w.ID(), w.Stats().Usage(0).Tasks)
+	}
+
+	// Incremental rebuild: content addressing + memoization mean the
+	// unchanged 39 compiles are never re-run anywhere in the cluster.
+	project.Sources[7] = append([]byte("// hotfix\n"), project.Sources[7]...)
+	job, err = buildsys.BuildJob(client.Store(), project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := client.EvalBlob(context.Background(), job); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental rebuild after editing one file: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,71 @@
+// Sebs: the two serverless functions of §5.6 ported via Flatware — a
+// Unix-like filesystem represented as nested Fix Trees. dynamic-html
+// renders a template from the filesystem; compression archives it; and
+// get-file fetches one file with pinpoint Selection dependencies
+// (Algorithm 3), never loading sibling directories.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fixgo/internal/flatware"
+	"fixgo/internal/runtime"
+	"fixgo/internal/store"
+)
+
+func main() {
+	st := store.New()
+	reg := runtime.NewRegistry()
+	flatware.RegisterGetFile(reg)
+	flatware.RegisterSeBS(reg)
+	engine := runtime.New(st, runtime.Options{Cores: 2, Registry: reg})
+	ctx := context.Background()
+
+	// Build the dependency filesystem (Fig. 11 of the paper).
+	fs := flatware.NewDir()
+	fs.AddFile("templates/template.html",
+		[]byte("<html><body><h1>Hello {{.Username}}!</h1><ul>{{range .Numbers}}<li>{{.}}</li>{{end}}</ul></body></html>"))
+	fs.AddFile("dynamic-html.py", []byte("# CPython driver stand-in"))
+	fs.AddFile("lib/jinja2/__init__.py", []byte("# template engine dependency"))
+	fs.AddFile("lib/markupsafe/__init__.py", []byte("# escaping dependency"))
+	fs.AddFile("data/report.txt", []byte("quarterly numbers go here"))
+	root, err := fs.Build(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// get-file: one path lookup, one directory level per invocation.
+	job, err := flatware.GetFileJob(st, root, "templates/template.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpl, err := engine.EvalBlob(ctx, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get-file: %d bytes of template\n", len(tpl))
+
+	// dynamic-html.
+	job, err = flatware.DynamicHTMLJob(st, root, "yuhan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	html, err := engine.EvalBlob(ctx, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic-html: %s…\n", html[:48])
+
+	// compression.
+	job, err = flatware.CompressionJob(st, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	archive, err := engine.EvalBlob(ctx, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compression: %d-byte deflated archive of the filesystem\n", len(archive))
+}

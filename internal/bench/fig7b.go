@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fixgo/internal/baselines/pheromone"
+	"fixgo/internal/baselines/raysim"
+	"fixgo/internal/cluster"
+	"fixgo/internal/codelet"
+	"fixgo/internal/core"
+	"fixgo/internal/transport"
+)
+
+// Fig7b measures the duration of a chain of N function invocations, each
+// consuming the previous one's output, with the client nearby or remote
+// (section 5.2.2). Fixpoint and Pheromone express the whole chain in one
+// client exchange; Ray pays a round trip per link.
+func Fig7b(s Scale) (Result, error) {
+	res := Result{ID: "fig7b", Title: fmt.Sprintf("chain of %d invocations, nearby vs remote client", s.ChainLen)}
+
+	type variant struct {
+		name       string
+		rtt        time.Duration
+		paperFix   time.Duration
+		paperPher  time.Duration
+		paperRay   time.Duration
+		paperScale bool
+	}
+	variants := []variant{
+		{name: "nearby client", rtt: s.NearRTT, paperFix: 5 * time.Millisecond, paperPher: 17600 * time.Microsecond, paperRay: 821 * time.Millisecond},
+		{name: fmt.Sprintf("remote client (%.1fms RTT)", float64(s.FarRTT.Microseconds())/1000), rtt: s.FarRTT,
+			paperFix: 25700 * time.Microsecond, paperPher: 38700 * time.Microsecond, paperRay: 11700 * time.Millisecond},
+	}
+	for _, v := range variants {
+		fixDur, err := fig7bFixpoint(s.ChainLen, v.rtt)
+		if err != nil {
+			return res, err
+		}
+		pherDur, err := fig7bPheromone(s.ChainLen, v.rtt)
+		if err != nil {
+			return res, err
+		}
+		rayDur, err := fig7bRay(s.ChainLen, v.rtt)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows,
+			Row{System: "Fixpoint / " + v.name, Measured: fixDur, Paper: v.paperFix},
+			Row{System: "Pheromone / " + v.name, Measured: pherDur, Paper: v.paperPher},
+			Row{System: "Ray / " + v.name, Measured: rayDur, Paper: v.paperRay},
+		)
+	}
+	res.Notes = append(res.Notes,
+		"paper numbers are for 500 links at 21.3 ms RTT; scale knobs may differ (see EXPERIMENTS.md)",
+		"Fixpoint ships the whole chain as one Fix object; Ray resolves each link at the client")
+	return res, nil
+}
+
+// fig7bFixpoint builds the inc chain client-side and evaluates it through
+// a client→server cluster link with the given RTT.
+func fig7bFixpoint(n int, rtt time.Duration) (time.Duration, error) {
+	client := cluster.NewNode("client", cluster.NodeOptions{Cores: 1, ClientOnly: true})
+	server := cluster.NewNode("server", cluster.NodeOptions{Cores: 4})
+	defer client.Close()
+	defer server.Close()
+	cluster.Connect(client, server, transport.LinkConfig{Latency: rtt / 2})
+
+	st := client.Store()
+	inc := st.PutBlob(codelet.IncFunctionBlob())
+	lim := core.DefaultLimits.Handle()
+	ctx := context.Background()
+
+	build := func(from uint64, links int) (core.Handle, error) {
+		arg := core.LiteralU64(from)
+		for i := 0; i < links; i++ {
+			tree, err := st.PutTree([]core.Handle{lim, inc, arg})
+			if err != nil {
+				return core.Handle{}, err
+			}
+			th, err := core.Application(tree)
+			if err != nil {
+				return core.Handle{}, err
+			}
+			arg, err = core.Strict(th)
+			if err != nil {
+				return core.Handle{}, err
+			}
+		}
+		return arg, nil
+	}
+
+	// Warm: loads the function on the server (setup excluded, as in the
+	// paper's methodology).
+	warm, err := build(1_000_000, 1)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := client.EvalBlob(ctx, warm); err != nil {
+		return 0, err
+	}
+
+	job, err := build(0, n)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	out, err := client.EvalBlob(ctx, job)
+	dur := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if v, _ := core.DecodeU64(out); v != uint64(n) {
+		return 0, fmt.Errorf("fig7b: chain produced %d, want %d", v, n)
+	}
+	return dur, nil
+}
+
+func fig7bPheromone(n int, rtt time.Duration) (time.Duration, error) {
+	e := pheromone.New(pheromone.Options{Workers: 4, ClientLatency: rtt / 2})
+	e.Register("inc", func(ctx context.Context, env *pheromone.Env, input []byte) ([]byte, error) {
+		v := uint64(0)
+		if len(input) > 0 {
+			v, _ = core.DecodeU64(input)
+		}
+		return core.LiteralU64(v + 1).LiteralData(), nil
+	})
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "inc"
+	}
+	ctx := context.Background()
+	if _, err := e.RunChain(ctx, names[:1], nil); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	out, err := e.RunChain(ctx, names, nil)
+	dur := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if v, _ := core.DecodeU64(out); v != uint64(n) {
+		return 0, fmt.Errorf("fig7b: pheromone chain produced %d, want %d", v, n)
+	}
+	return dur, nil
+}
+
+func fig7bRay(n int, rtt time.Duration) (time.Duration, error) {
+	c := raysim.NewCluster(raysim.Options{Nodes: 1, CoresPerNode: 4, DriverLatency: rtt / 2})
+	defer c.Close()
+	c.Register("inc", func(tc *raysim.TaskCtx, args []raysim.Arg) ([]byte, error) {
+		v := uint64(0)
+		if len(args[0].Data) > 0 {
+			v, _ = core.DecodeU64(args[0].Data)
+		}
+		return core.LiteralU64(v + 1).LiteralData(), nil
+	})
+	ctx := context.Background()
+	if ref, err := c.Submit(ctx, "inc", raysim.ByValue(nil)); err != nil {
+		return 0, err
+	} else if _, err := c.Get(ctx, ref); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var cur []byte
+	for i := 0; i < n; i++ {
+		ref, err := c.Submit(ctx, "inc", raysim.ByValue(cur))
+		if err != nil {
+			return 0, err
+		}
+		cur, err = c.Get(ctx, ref)
+		if err != nil {
+			return 0, err
+		}
+	}
+	dur := time.Since(start)
+	if v, _ := core.DecodeU64(cur); v != uint64(n) {
+		return 0, fmt.Errorf("fig7b: ray chain produced %d, want %d", v, n)
+	}
+	return dur, nil
+}

@@ -1,0 +1,184 @@
+// Package buildsys provides the software-compilation workload of the
+// paper's section 5.5 (Fig. 10): a burst-parallel job that compiles ~2,000
+// C source files in parallel invocations of a compiler function and
+// combines the outputs with a single linker invocation.
+//
+// Substitution (DESIGN.md #5): instead of porting libclang/liblld, compile
+// and link are deterministic pure transforms over the source bytes with a
+// configurable modeled compute time; the dataflow shape — wide fan-out
+// into a single wide fan-in whose inputs are intermediate results spread
+// across the cluster — is what the experiment measures.
+package buildsys
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/runtime"
+)
+
+// Project is a synthetic C project.
+type Project struct {
+	Sources [][]byte
+	Headers []byte
+}
+
+// GenProject generates n deterministic source files of srcSize bytes and
+// a shared header blob of hdrSize bytes.
+func GenProject(seed int64, n, srcSize, hdrSize int) *Project {
+	rng := rand.New(rand.NewSource(seed*962181247 + 7))
+	p := &Project{Headers: genText(rng, hdrSize)}
+	for i := 0; i < n; i++ {
+		src := append([]byte(fmt.Sprintf("// file %d\n#include \"all.h\"\n", i)), genText(rng, srcSize)...)
+		p.Sources = append(p.Sources, src)
+	}
+	return p
+}
+
+func genText(rng *rand.Rand, n int) []byte {
+	const chars = "intvodchar {}();=+-*/<>.,\nabcdefgh"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = chars[rng.Intn(len(chars))]
+	}
+	return out
+}
+
+// CompileOutput is the pure "object file" transform used identically by
+// the Fixpoint procedures and the baseline executables: a digest-chained
+// expansion of the source against the headers.
+func CompileOutput(src, headers []byte) []byte {
+	h := sha256.New()
+	h.Write(headers)
+	h.Write(src)
+	seed := h.Sum(nil)
+	// Object files in the paper's job are comparable in size to their
+	// sources; expand the digest deterministically to ~len(src).
+	out := make([]byte, 0, len(src)+32)
+	cur := seed
+	for len(out) < len(src) {
+		s := sha256.Sum256(cur)
+		cur = s[:]
+		out = append(out, cur...)
+	}
+	return append(out[:len(src)], seed[:8]...)
+}
+
+// LinkOutput is the pure "binary" transform: an order-sensitive digest
+// chain over all object files.
+func LinkOutput(objects [][]byte) []byte {
+	h := sha256.New()
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(objects)))
+	h.Write(count[:])
+	for _, o := range objects {
+		h.Write(o)
+	}
+	return h.Sum(nil)
+}
+
+// Config tunes the modeled compute time of the registered procedures.
+type Config struct {
+	// CompileTime models one full-scale libclang invocation.
+	CompileTime time.Duration
+	// LinkTime models the single liblld invocation.
+	LinkTime time.Duration
+}
+
+// Registry names.
+const (
+	CompileProcName = "cc/compile"
+	LinkProcName    = "cc/link"
+)
+
+// Register installs compile and link procedures.
+//
+// cc/compile: [limits, fn, src, headers] → object Blob.
+// cc/link:    [limits, fn, obj...] → binary Blob.
+func Register(reg *runtime.Registry, cfg Config) {
+	reg.RegisterFunc(CompileProcName, func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if len(entries) != 4 {
+			return core.Handle{}, fmt.Errorf("cc/compile: want 4 entries, got %d", len(entries))
+		}
+		src, err := api.AttachBlob(entries[2])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		hdrs, err := api.AttachBlob(entries[3])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if cfg.CompileTime > 0 {
+			time.Sleep(cfg.CompileTime)
+		}
+		return api.CreateBlob(CompileOutput(src, hdrs)), nil
+	})
+	reg.RegisterFunc(LinkProcName, func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		objs := make([][]byte, 0, len(entries)-2)
+		for _, e := range entries[2:] {
+			o, err := api.AttachBlob(e)
+			if err != nil {
+				return core.Handle{}, err
+			}
+			objs = append(objs, o)
+		}
+		if cfg.LinkTime > 0 {
+			time.Sleep(cfg.LinkTime)
+		}
+		return api.CreateBlob(LinkOutput(objs)), nil
+	})
+}
+
+// BuildJob assembles the whole compile-and-link job as one Fix object:
+// one compile Application per source (its output hinted at source size so
+// the scheduler can price moving it) feeding a single link Application,
+// returned as the top-level Strict Encode.
+func BuildJob(st core.Store, p *Project) (core.Handle, error) {
+	compileFn := st.PutBlob(core.NativeFunctionBlob(CompileProcName))
+	linkFn := st.PutBlob(core.NativeFunctionBlob(LinkProcName))
+	hdrs := st.PutBlob(p.Headers)
+
+	var linkArgs []core.Handle
+	for _, src := range p.Sources {
+		srcH := st.PutBlob(src)
+		lim := core.Limits{
+			MemoryBytes:    core.DefaultLimits.MemoryBytes,
+			Gas:            core.DefaultLimits.Gas,
+			OutputSizeHint: uint64(len(src) + 8),
+		}.Handle()
+		tree, err := st.PutTree(core.InvocationTree(lim, compileFn, srcH, hdrs))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		th, err := core.Application(tree)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		enc, err := core.Strict(th)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		linkArgs = append(linkArgs, enc)
+	}
+	linkTree, err := st.PutTree(core.InvocationTree(core.DefaultLimits.Handle(), linkFn, linkArgs...))
+	if err != nil {
+		return core.Handle{}, err
+	}
+	th, err := core.Application(linkTree)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	return core.Strict(th)
+}

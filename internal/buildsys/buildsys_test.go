@@ -1,0 +1,110 @@
+package buildsys
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fixgo/internal/runtime"
+	"fixgo/internal/store"
+)
+
+func TestGenProjectDeterministic(t *testing.T) {
+	a := GenProject(1, 5, 400, 1000)
+	b := GenProject(1, 5, 400, 1000)
+	if len(a.Sources) != 5 || !bytes.Equal(a.Headers, b.Headers) {
+		t.Fatal("project not deterministic")
+	}
+	for i := range a.Sources {
+		if !bytes.Equal(a.Sources[i], b.Sources[i]) {
+			t.Fatalf("source %d differs", i)
+		}
+	}
+}
+
+func TestCompileLinkPure(t *testing.T) {
+	p := GenProject(2, 3, 300, 500)
+	o1 := CompileOutput(p.Sources[0], p.Headers)
+	o2 := CompileOutput(p.Sources[0], p.Headers)
+	if !bytes.Equal(o1, o2) {
+		t.Fatal("compile not pure")
+	}
+	if len(o1) != len(p.Sources[0])+8 {
+		t.Fatalf("object size = %d", len(o1))
+	}
+	if bytes.Equal(CompileOutput(p.Sources[1], p.Headers), o1) {
+		t.Fatal("different sources should compile differently")
+	}
+	objs := [][]byte{o1, CompileOutput(p.Sources[1], p.Headers)}
+	l1 := LinkOutput(objs)
+	l2 := LinkOutput(objs)
+	if !bytes.Equal(l1, l2) || len(l1) != 32 {
+		t.Fatal("link not pure")
+	}
+	if bytes.Equal(LinkOutput([][]byte{objs[1], objs[0]}), l1) {
+		t.Fatal("link must be order-sensitive")
+	}
+}
+
+func TestBuildJobEndToEnd(t *testing.T) {
+	reg := runtime.NewRegistry()
+	Register(reg, Config{})
+	st := store.New()
+	e := runtime.New(st, runtime.Options{Cores: 4, Registry: reg})
+
+	p := GenProject(3, 9, 600, 2000)
+	job, err := BuildJob(st, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.EvalBlob(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected binary, computed directly.
+	var objs [][]byte
+	for _, src := range p.Sources {
+		objs = append(objs, CompileOutput(src, p.Headers))
+	}
+	if !bytes.Equal(out, LinkOutput(objs)) {
+		t.Fatal("linked binary mismatch")
+	}
+	// 9 compiles + 1 link.
+	if n := e.Stats().Usage(0).Tasks; n != 10 {
+		t.Fatalf("tasks = %d, want 10", n)
+	}
+	// Compiles are memoized: rebuilding one source's job is free.
+	srcH := st.PutBlob(p.Sources[0])
+	_ = srcH
+	out2, err := e.EvalBlob(context.Background(), job)
+	if err != nil || !bytes.Equal(out2, out) {
+		t.Fatal("re-evaluation mismatch")
+	}
+	if n := e.Stats().Usage(0).Tasks; n != 10 {
+		t.Fatalf("tasks after re-eval = %d, want 10 (memoized)", n)
+	}
+}
+
+func TestIncrementalRecompile(t *testing.T) {
+	// Changing one source re-runs exactly one compile plus the link.
+	reg := runtime.NewRegistry()
+	Register(reg, Config{})
+	st := store.New()
+	e := runtime.New(st, runtime.Options{Cores: 4, Registry: reg})
+	p := GenProject(4, 6, 500, 1500)
+	job, _ := BuildJob(st, p)
+	if _, err := e.EvalBlob(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Stats().Usage(0).Tasks
+
+	p.Sources[2] = append([]byte("// edited\n"), p.Sources[2]...)
+	job2, _ := BuildJob(st, p)
+	if _, err := e.EvalBlob(context.Background(), job2); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.Stats().Usage(0).Tasks - base
+	if delta != 2 {
+		t.Fatalf("incremental rebuild ran %d tasks, want 2 (one compile + link)", delta)
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"fixgo/internal/core"
+	"fixgo/internal/proto"
+)
+
+// clusterFetcher implements runtime.Fetcher over the peer network: missing
+// objects are requested from peers the view locates them on, falling back
+// to the node's ExtraFetcher (e.g. an object store).
+type clusterFetcher struct {
+	n *Node
+}
+
+func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, error) {
+	n := f.n
+	k := keyOf(h)
+
+	// Single-flight: join an in-progress fetch if one exists.
+	n.mu.Lock()
+	if w, ok := n.fetchW[k]; ok {
+		n.mu.Unlock()
+		select {
+		case <-w.done:
+			if w.err != nil {
+				return nil, w.err
+			}
+			return n.st.ObjectBytes(k)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	w := &fetchWait{done: make(chan struct{}), miss: make(chan string, 16)}
+	n.fetchW[k] = w
+	owners := make([]string, 0, len(n.view[k]))
+	for id := range n.view[k] {
+		owners = append(owners, id)
+	}
+	peerByID := make(map[string]*peer, len(n.peers))
+	for id, p := range n.peers {
+		peerByID[id] = p
+	}
+	n.mu.Unlock()
+	sort.Strings(owners)
+	// Fall back to peers the view knows nothing about: the view advances
+	// passively and may lag objects created after the Hello exchange
+	// (e.g. a client uploading a job's inputs).
+	known := make(map[string]bool, len(owners))
+	for _, id := range owners {
+		known[id] = true
+	}
+	rest := make([]string, 0, len(peerByID))
+	for id := range peerByID {
+		if !known[id] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Strings(rest)
+	owners = append(owners, rest...)
+
+	err := f.run(ctx, k, w, owners, peerByID)
+	if err != nil {
+		n.completeFetch(k, err)
+		return nil, err
+	}
+	// Success paths (ingestObject or extra fetcher) completed the wait.
+	return n.st.ObjectBytes(k)
+}
+
+func (f *clusterFetcher) run(ctx context.Context, k core.Handle, w *fetchWait, owners []string, peerByID map[string]*peer) error {
+	n := f.n
+	for _, owner := range owners {
+		p := peerByID[owner]
+		if p == nil {
+			continue
+		}
+		if err := p.send(&proto.Message{Type: proto.TypeRequest, From: n.id, Handle: k}); err != nil {
+			continue
+		}
+		for {
+			select {
+			case <-w.done:
+				return w.err
+			case from := <-w.miss:
+				if from == owner {
+					// This owner no longer has it; try the next.
+				} else {
+					continue // stale miss from an earlier owner
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			break
+		}
+		// Check whether the object arrived through another path (e.g.
+		// pushed alongside a job) while we were waiting.
+		if n.st.Contains(k) {
+			n.completeFetch(k, nil)
+			return nil
+		}
+	}
+	if n.opts.ExtraFetcher != nil {
+		data, err := n.opts.ExtraFetcher.Fetch(ctx, k)
+		if err != nil {
+			return fmt.Errorf("cluster: %v not found on any peer: %w", k, err)
+		}
+		if err := n.st.PutObject(k, data); err != nil {
+			return err
+		}
+		n.completeFetch(k, nil)
+		return nil
+	}
+	return fmt.Errorf("cluster: object %v not found on any of %d known owners", k, len(owners))
+}

@@ -1,0 +1,494 @@
+// Package cluster implements the distributed Fixpoint execution engine of
+// section 4.2: nodes that exchange Fix objects and delegate jobs over
+// transport links, each running an independent dataflow-aware scheduler.
+//
+// There is no centralized scheduler. Each node keeps a passive "view" of
+// which objects exist on which peers: on connect, nodes exchange lists of
+// locally resident objects; thereafter the view advances as objects and
+// results move. Given an Encode to force, the local scheduler walks the
+// job's definition closure, estimates the bytes that would have to move to
+// each candidate node (including the hinted output size), and delegates to
+// the cheapest — or runs locally when it already is the cheapest.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/proto"
+	"fixgo/internal/runtime"
+	"fixgo/internal/stats"
+	"fixgo/internal/store"
+	"fixgo/internal/transport"
+)
+
+// NodeOptions configures a cluster node.
+type NodeOptions struct {
+	// Cores, MemoryBytes, InternalIO, OversubscribeCores and Registry are
+	// passed through to the node's runtime engine.
+	Cores              int
+	MemoryBytes        uint64
+	InternalIO         bool
+	OversubscribeCores int
+	Registry           *runtime.Registry
+	// NoLocality is the Fig. 8b ablation: placement ignores the view and
+	// picks uniformly at random.
+	NoLocality bool
+	// ClientOnly marks a node that submits jobs and serves objects but
+	// never executes placements (the experiment "client").
+	ClientOnly bool
+	// MaxHops bounds the delegation depth of a dataflow (default 256;
+	// each level of a job tree may hop once, and a received Encode is
+	// never re-delegated, so this is a runaway guard, not a tuning
+	// knob).
+	MaxHops int
+	// PushLimit is the largest Blob shipped inside a Job message;
+	// larger dependencies are fetched on demand (default 4096).
+	PushLimit int
+	// ExtraFetcher supplies objects found on no peer (e.g. an object
+	// store).
+	ExtraFetcher runtime.Fetcher
+	// Seed makes NoLocality placement deterministic.
+	Seed int64
+	// MaxEvalDepth passes through to the engine.
+	MaxEvalDepth int
+}
+
+func (o NodeOptions) withDefaults() NodeOptions {
+	if o.MaxHops <= 0 {
+		o.MaxHops = 256
+	}
+	if o.PushLimit <= 0 {
+		o.PushLimit = 4096
+	}
+	return o
+}
+
+// Node is one Fixpoint instance in a distributed deployment.
+type Node struct {
+	id   string
+	opts NodeOptions
+	st   *store.Store
+	eng  *runtime.Engine
+
+	mu      sync.Mutex
+	peers   map[string]*peer
+	view    map[core.Handle]map[string]bool
+	fetchW  map[core.Handle]*fetchWait
+	jobW    map[core.Handle][]chan jobResult
+	pending map[string]int // node id → jobs in flight there (scheduling load)
+	rng     *rand.Rand
+	closed  bool
+}
+
+type peer struct {
+	id     string
+	role   byte
+	conn   transport.Conn
+	sendMu sync.Mutex
+}
+
+func (p *peer) send(m *proto.Message) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return p.conn.Send(m.Encode())
+}
+
+type fetchWait struct {
+	done chan struct{}
+	miss chan string
+	err  error
+}
+
+type jobResult struct {
+	result core.Handle
+	err    error
+}
+
+// NewNode creates a node with the given identifier.
+func NewNode(id string, opts NodeOptions) *Node {
+	opts = opts.withDefaults()
+	n := &Node{
+		id:      id,
+		opts:    opts,
+		st:      store.New(),
+		peers:   make(map[string]*peer),
+		view:    make(map[core.Handle]map[string]bool),
+		fetchW:  make(map[core.Handle]*fetchWait),
+		jobW:    make(map[core.Handle][]chan jobResult),
+		pending: make(map[string]int),
+		rng:     rand.New(rand.NewSource(opts.Seed ^ int64(fnvHash(id)))),
+	}
+	n.eng = runtime.New(n.st, runtime.Options{
+		Cores:              opts.Cores,
+		MemoryBytes:        opts.MemoryBytes,
+		InternalIO:         opts.InternalIO,
+		OversubscribeCores: opts.OversubscribeCores,
+		Registry:           opts.Registry,
+		Fetcher:            &clusterFetcher{n: n},
+		Delegator:          n,
+		MaxEvalDepth:       opts.MaxEvalDepth,
+	})
+	return n
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+// Store returns the node's runtime storage.
+func (n *Node) Store() *store.Store { return n.st }
+
+// Engine returns the node's execution engine.
+func (n *Node) Engine() *runtime.Engine { return n.eng }
+
+// Stats returns the node's CPU-state collector.
+func (n *Node) Stats() *stats.Collector { return n.eng.Stats() }
+
+// Eval evaluates a Fix object, with the distributed scheduler free to
+// place work anywhere in the cluster.
+func (n *Node) Eval(ctx context.Context, h core.Handle) (core.Handle, error) {
+	return n.eng.Eval(withHops(ctx, 0), h)
+}
+
+// EvalBlob evaluates h and fetches the resulting Blob's contents.
+func (n *Node) EvalBlob(ctx context.Context, h core.Handle) ([]byte, error) {
+	return n.eng.EvalBlob(withHops(ctx, 0), h)
+}
+
+// Close shuts down all peer links.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+}
+
+// role returns the node's wire role.
+func (n *Node) role() byte {
+	if n.opts.ClientOnly {
+		return proto.RoleClient
+	}
+	return proto.RoleWorker
+}
+
+// AttachPeer adopts a transport link: sends our Hello (identity, role, and
+// the full list of resident objects) and starts the receive loop. The peer
+// becomes routable once its own Hello arrives.
+func (n *Node) AttachPeer(conn transport.Conn) {
+	hello := &proto.Message{Type: proto.TypeHello, From: n.id, Role: n.role(), Adverts: n.localAdverts()}
+	_ = conn.Send(hello.Encode())
+	go n.recvLoop(conn)
+}
+
+func (n *Node) localAdverts() []core.Handle {
+	var out []core.Handle
+	n.st.ForEach(func(h core.Handle, size uint64) { out = append(out, h) })
+	return out
+}
+
+// Peers lists connected peer IDs.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// AdvertiseAll broadcasts the node's current object inventory to all
+// peers. Call after bulk-loading data onto an already connected node.
+func (n *Node) AdvertiseAll() {
+	n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: n.localAdverts()})
+}
+
+func (n *Node) broadcast(m *proto.Message) {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		_ = p.send(m)
+	}
+}
+
+func (n *Node) recvLoop(conn transport.Conn) {
+	var from string
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			if from != "" {
+				n.mu.Lock()
+				delete(n.peers, from)
+				n.mu.Unlock()
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, transport.ErrClosed) {
+				// Link failure: drop the peer silently; fetches fall
+				// back to other owners.
+				_ = err
+			}
+			return
+		}
+		m, err := proto.Decode(raw)
+		if err != nil {
+			continue // malformed frame: ignore
+		}
+		if from == "" {
+			if m.Type != proto.TypeHello {
+				continue // protocol requires Hello first
+			}
+			from = m.From
+			p := &peer{id: from, role: m.Role, conn: conn}
+			n.mu.Lock()
+			n.peers[from] = p
+			n.mu.Unlock()
+		}
+		n.handle(m)
+	}
+}
+
+func (n *Node) handle(m *proto.Message) {
+	switch m.Type {
+	case proto.TypeHello, proto.TypeAdvertise:
+		n.mu.Lock()
+		for _, h := range m.Adverts {
+			n.viewAddLocked(h, m.From)
+		}
+		n.mu.Unlock()
+	case proto.TypeRequest:
+		go n.serveRequest(m)
+	case proto.TypeObject:
+		n.ingestObject(m.From, m.Handle, m.Data)
+	case proto.TypeMissing:
+		n.mu.Lock()
+		owners := n.view[keyOf(m.Handle)]
+		if owners != nil {
+			delete(owners, m.From)
+		}
+		w := n.fetchW[keyOf(m.Handle)]
+		n.mu.Unlock()
+		if w != nil {
+			select {
+			case w.miss <- m.From:
+			default:
+			}
+		}
+	case proto.TypeJob:
+		go n.serveJob(m)
+	case proto.TypeResult:
+		n.mu.Lock()
+		waiters := n.jobW[m.Handle]
+		delete(n.jobW, m.Handle)
+		n.mu.Unlock()
+		res := jobResult{result: m.Result}
+		if m.Err != "" {
+			res.err = fmt.Errorf("cluster: remote job on %s failed: %s", m.From, m.Err)
+		}
+		for _, ch := range waiters {
+			ch <- res
+		}
+	}
+}
+
+func keyOf(h core.Handle) core.Handle {
+	if h.IsData() {
+		return h.AsObject()
+	}
+	return h
+}
+
+func (n *Node) viewAddLocked(h core.Handle, owner string) {
+	k := keyOf(h)
+	set := n.view[k]
+	if set == nil {
+		set = make(map[string]bool)
+		n.view[k] = set
+	}
+	set[owner] = true
+}
+
+func (n *Node) serveRequest(m *proto.Message) {
+	data, err := n.st.ObjectBytes(m.Handle)
+	n.mu.Lock()
+	p := n.peers[m.From]
+	n.mu.Unlock()
+	if p == nil {
+		return
+	}
+	if err != nil {
+		_ = p.send(&proto.Message{Type: proto.TypeMissing, From: n.id, Handle: m.Handle})
+		return
+	}
+	_ = p.send(&proto.Message{Type: proto.TypeObject, From: n.id, Handle: m.Handle, Data: data})
+}
+
+func (n *Node) ingestObject(from string, h core.Handle, data []byte) {
+	if err := n.st.PutObject(h, data); err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.viewAddLocked(h, from)
+	n.mu.Unlock()
+	n.completeFetch(h, nil)
+}
+
+// completeFetch finishes an outstanding fetch wait, if any.
+func (n *Node) completeFetch(h core.Handle, err error) {
+	n.mu.Lock()
+	w := n.fetchW[keyOf(h)]
+	delete(n.fetchW, keyOf(h))
+	n.mu.Unlock()
+	if w != nil {
+		w.err = err
+		close(w.done)
+	}
+}
+
+// serveJob executes a delegated Encode forcing and replies with the
+// result. New objects produced by the job are advertised cluster-wide so
+// downstream placements see them.
+func (n *Node) serveJob(m *proto.Message) {
+	n.mu.Lock()
+	n.pending[n.id]++
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.pending[n.id]--
+		n.mu.Unlock()
+	}()
+	for _, p := range m.Pushed {
+		if err := n.st.PutObject(p.Handle, p.Data); err == nil {
+			n.mu.Lock()
+			n.viewAddLocked(p.Handle, m.From)
+			n.mu.Unlock()
+		}
+	}
+	// The received Encode itself must run here: re-delegating it could
+	// ping-pong back to the sender, whose force future is already
+	// waiting on us (a distributed deadlock). Its children may still be
+	// outsourced.
+	ctx := withReceived(withHops(context.Background(), int(m.Hops)), m.Handle)
+	res, err := n.eng.Eval(ctx, m.Handle)
+	reply := &proto.Message{Type: proto.TypeResult, From: n.id, Handle: m.Handle, Result: res}
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: n.closureOf(res)})
+	}
+	n.mu.Lock()
+	p := n.peers[m.From]
+	n.mu.Unlock()
+	if p != nil {
+		_ = p.send(reply)
+	}
+}
+
+// closureOf lists locally resident data handles reachable from h
+// (including h itself and thunk definitions), capped for sanity.
+func (n *Node) closureOf(h core.Handle) []core.Handle {
+	const maxClosure = 16384
+	seen := make(map[core.Handle]bool)
+	var out []core.Handle
+	var walk func(core.Handle)
+	walk = func(h core.Handle) {
+		if len(out) >= maxClosure {
+			return
+		}
+		k := keyOf(h)
+		if k.IsLiteral() || seen[k] {
+			return
+		}
+		seen[k] = true
+		if !n.st.Contains(k) {
+			return
+		}
+		out = append(out, k)
+		if k.Kind() == core.KindTree {
+			children, err := n.st.Tree(k)
+			if err == nil {
+				for _, c := range children {
+					walk(c)
+				}
+			}
+		}
+	}
+	walk(h)
+	return out
+}
+
+func fnvHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	return f.Sum64()
+}
+
+type hopsKeyType struct{}
+
+func withHops(ctx context.Context, hops int) context.Context {
+	return context.WithValue(ctx, hopsKeyType{}, hops)
+}
+
+func hopsOf(ctx context.Context) int {
+	if v, ok := ctx.Value(hopsKeyType{}).(int); ok {
+		return v
+	}
+	return 0
+}
+
+type receivedKeyType struct{}
+
+func withReceived(ctx context.Context, enc core.Handle) context.Context {
+	return context.WithValue(ctx, receivedKeyType{}, enc)
+}
+
+func receivedOf(ctx context.Context) (core.Handle, bool) {
+	h, ok := ctx.Value(receivedKeyType{}).(core.Handle)
+	return h, ok
+}
+
+// Connect joins two nodes with a simulated link and waits until both ends
+// have exchanged Hellos.
+func Connect(a, b *Node, cfg transport.LinkConfig) {
+	ca, cb := transport.Pipe(cfg)
+	a.AttachPeer(ca)
+	b.AttachPeer(cb)
+	waitPeer(a, b.id)
+	waitPeer(b, a.id)
+}
+
+func waitPeer(n *Node, id string) {
+	for i := 0; i < 100000; i++ {
+		n.mu.Lock()
+		_, ok := n.peers[id]
+		n.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// FullMesh connects every pair of nodes with identical links.
+func FullMesh(cfg transport.LinkConfig, nodes ...*Node) {
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			Connect(nodes[i], nodes[j], cfg)
+		}
+	}
+}

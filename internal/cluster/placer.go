@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"sort"
+
+	"fixgo/internal/core"
+	"fixgo/internal/proto"
+)
+
+// dep is one object a job's execution would need resident.
+type dep struct {
+	h    core.Handle
+	size uint64
+}
+
+// Offload implements runtime.Delegator: the node's dataflow-aware
+// scheduler. Given an Encode about to be forced, it walks the job's
+// locally known definition closure, estimates per-candidate data movement
+// (bytes of dependencies not already at the candidate, plus the hinted
+// output size for non-local placements), and delegates to the cheapest
+// node — or declines (handled=false) when this node is already cheapest.
+func (n *Node) Offload(ctx context.Context, enc core.Handle) (core.Handle, bool, error) {
+	if hopsOf(ctx) >= n.opts.MaxHops {
+		return core.Handle{}, false, nil
+	}
+	if rec, ok := receivedOf(ctx); ok && rec == enc {
+		return core.Handle{}, false, nil
+	}
+	candidates, peerByID := n.candidates()
+	if len(candidates) == 0 || (len(candidates) == 1 && candidates[0] == n.id) {
+		return core.Handle{}, false, nil
+	}
+	deps, hint, ok := n.jobDeps(enc)
+	if !ok {
+		return core.Handle{}, false, nil
+	}
+	target := n.pick(enc, candidates, deps, hint)
+	if target == n.id {
+		return core.Handle{}, false, nil
+	}
+	p := peerByID[target]
+	if p == nil {
+		return core.Handle{}, false, nil
+	}
+	res, err := n.delegate(ctx, p, enc, deps)
+	return res, true, err
+}
+
+// candidates lists placement targets: worker peers plus this node (unless
+// it is client-only).
+func (n *Node) candidates() ([]string, map[string]*peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byID := make(map[string]*peer, len(n.peers))
+	var out []string
+	for id, p := range n.peers {
+		if p.role != proto.RoleWorker {
+			continue
+		}
+		out = append(out, id)
+		byID[id] = p
+	}
+	if !n.opts.ClientOnly {
+		out = append(out, n.id)
+	}
+	sort.Strings(out)
+	return out, byID
+}
+
+// jobDeps walks the locally resident definition closure of an Encode's
+// Thunk and collects the data objects its execution will need. It returns
+// ok=false when the definition itself is not local (the job cannot be
+// priced, so it runs here and fetching sorts it out).
+func (n *Node) jobDeps(enc core.Handle) (deps []dep, hint uint64, ok bool) {
+	thunk, err := core.EncodedThunk(enc)
+	if err != nil {
+		return nil, 0, false
+	}
+	def, err := core.ThunkDefinition(thunk)
+	if err != nil {
+		return nil, 0, false
+	}
+	if !def.IsLiteral() && !n.st.Contains(def) {
+		return nil, 0, false
+	}
+	seen := make(map[core.Handle]bool)
+	var walk func(h core.Handle)
+	walk = func(h core.Handle) {
+		switch h.RefKind() {
+		case core.RefThunk, core.RefEncode:
+			// The deferred computation's definition is itself a
+			// dependency of running the job here or anywhere.
+			var inner core.Handle
+			if h.RefKind() == core.RefEncode {
+				t, _ := core.EncodedThunk(h)
+				inner, _ = core.ThunkDefinition(t)
+			} else {
+				inner, _ = core.ThunkDefinition(h)
+			}
+			walk(inner)
+		case core.RefObject:
+			k := h.AsObject()
+			if k.IsLiteral() || seen[k] {
+				return
+			}
+			seen[k] = true
+			size := k.Size()
+			if k.Kind() == core.KindTree {
+				size *= core.HandleSize
+			}
+			deps = append(deps, dep{h: k, size: size})
+			if k.Kind() == core.KindTree && n.st.Contains(k) {
+				children, err := n.st.Tree(k)
+				if err == nil {
+					for _, c := range children {
+						walk(c)
+					}
+				}
+			}
+		default:
+			// Refs are shallow dependencies: not needed to run.
+		}
+	}
+	walk(def)
+
+	// The limits entry hints the output size (section 4.2.2).
+	if n.st.Contains(def) {
+		if entries, err := n.st.Tree(def); err == nil && len(entries) > 0 {
+			if raw, err := n.st.Blob(entries[0]); err == nil && len(raw) == len(core.DefaultLimits.Encode()) {
+				if lim, err := core.DecodeLimits(raw); err == nil {
+					hint = lim.OutputSizeHint
+				}
+			}
+		}
+	}
+	return deps, hint, true
+}
+
+// pick chooses the placement. With NoLocality it is uniform random
+// (the Fig. 8b ablation); otherwise minimal data movement with a
+// deterministic pseudo-random tie-break so equal-cost jobs spread.
+func (n *Node) pick(enc core.Handle, candidates []string, deps []dep, hint uint64) string {
+	if n.opts.NoLocality {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return candidates[n.rng.Intn(len(candidates))]
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	best := ""
+	var bestCost, bestTie uint64
+	for _, cand := range candidates {
+		var cost uint64
+		for _, d := range deps {
+			if !n.hasLocked(cand, d.h) {
+				cost += d.size
+			}
+		}
+		if cand != n.id {
+			cost += hint
+		}
+		// Load term: parallel dependees of the same downstream job
+		// (section 4.2.2) spread across nodes instead of piling onto
+		// one equal-cost winner. Self load comes from the engine's
+		// in-flight count; peer load from our outstanding delegations.
+		load := uint64(n.pending[cand])
+		if cand == n.id {
+			load += uint64(n.eng.InFlight())
+		}
+		cost += load * loadPenaltyBytes
+		tie := tieBreak(enc, cand)
+		if best == "" || cost < bestCost || (cost == bestCost && tie < bestTie) {
+			best, bestCost, bestTie = cand, cost, tie
+		}
+	}
+	return best
+}
+
+// loadPenaltyBytes prices one in-flight job in data-movement bytes: small
+// enough that real locality (chunk-sized differences) still dominates,
+// large enough to break ties among equal-cost candidates.
+const loadPenaltyBytes = 8 << 10
+
+func (n *Node) hasLocked(node string, h core.Handle) bool {
+	if node == n.id {
+		return n.st.Contains(h)
+	}
+	return n.view[keyOf(h)][node]
+}
+
+func tieBreak(enc core.Handle, cand string) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], fnvHash(cand))
+	sum := fnvHash(string(enc[:]) + string(buf[:]))
+	return sum
+}
+
+// delegate ships the job to the chosen peer: the Encode handle plus the
+// cheap part of its definition closure (Trees, and Blobs up to PushLimit,
+// that the peer is not known to have), then waits for the Result.
+func (n *Node) delegate(ctx context.Context, p *peer, enc core.Handle, deps []dep) (core.Handle, error) {
+	pushed := n.pushSet(p.id, enc, deps)
+	ch := make(chan jobResult, 1)
+	n.mu.Lock()
+	n.jobW[enc] = append(n.jobW[enc], ch)
+	n.pending[p.id]++
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.pending[p.id]--
+		n.mu.Unlock()
+	}()
+
+	msg := &proto.Message{
+		Type:   proto.TypeJob,
+		From:   n.id,
+		Handle: enc,
+		Hops:   uint8(hopsOf(ctx) + 1),
+		Pushed: pushed,
+	}
+	if err := p.send(msg); err != nil {
+		n.dropJobWaiter(enc, ch)
+		return core.Handle{}, err
+	}
+	select {
+	case res := <-ch:
+		if res.err == nil {
+			n.mu.Lock()
+			n.viewAddLocked(res.result, p.id)
+			n.mu.Unlock()
+		}
+		return res.result, res.err
+	case <-ctx.Done():
+		n.dropJobWaiter(enc, ch)
+		return core.Handle{}, ctx.Err()
+	}
+}
+
+func (n *Node) dropJobWaiter(enc core.Handle, ch chan jobResult) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ws := n.jobW[enc]
+	for i, w := range ws {
+		if w == ch {
+			n.jobW[enc] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(n.jobW[enc]) == 0 {
+		delete(n.jobW, enc)
+	}
+}
+
+// pushSet gathers the definition closure objects worth shipping with a
+// job: Trees (the invocation descriptions themselves) and small Blobs the
+// target is not known to hold. Shipping dependency information with the
+// job is what lets Fixpoint avoid scheduler round trips (section 4.2.1).
+func (n *Node) pushSet(target string, enc core.Handle, deps []dep) []proto.PushedObject {
+	const (
+		maxObjects = 8192
+		maxBytes   = 8 << 20
+	)
+	var out []proto.PushedObject
+	var total int
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, d := range deps {
+		if len(out) >= maxObjects || total >= maxBytes {
+			break
+		}
+		if n.view[keyOf(d.h)][target] {
+			continue
+		}
+		isTree := d.h.Kind() == core.KindTree
+		if !isTree && d.size > uint64(n.opts.PushLimit) {
+			continue
+		}
+		data, err := n.st.ObjectBytes(d.h)
+		if err != nil {
+			continue
+		}
+		out = append(out, proto.PushedObject{Handle: d.h, Data: data})
+		total += len(data)
+		n.viewAddLocked(d.h, target) // optimistic: it will have it
+	}
+	return out
+}

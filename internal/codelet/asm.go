@@ -1,0 +1,216 @@
+package codelet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates fixasm text into FixVM bytecode (without the MagicVM
+// prefix). It is this reproduction's trusted toolchain entrypoint: the
+// output of Assemble always passes Load's validation.
+//
+// Syntax:
+//
+//	; comment (also #)
+//	.memory 4096          ; linear memory size in bytes (default 4096)
+//	label:
+//	    li   r1, 0x20     ; registers r0..r15, decimal/hex immediates
+//	    host attach_blob  ; host functions by name
+//	    jnz  r0, label    ; control flow targets are labels
+//	    ret  r0
+func Assemble(src string) ([]byte, error) {
+	type line struct {
+		num    int
+		mnem   string
+		args   []string
+		offset int
+	}
+
+	memSize := 4096
+	labels := make(map[string]int)
+	var lines []line
+	offset := 0
+
+	mnemToOp := make(map[string]byte, opCount)
+	for op := byte(0); op < opCount; op++ {
+		mnemToOp[specs[op].name] = op
+	}
+
+	for num, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.IndexAny(text, ";#"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(text, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("fixasm:%d: bad label %q", num+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("fixasm:%d: duplicate label %q", num+1, label)
+			}
+			labels[label] = offset
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".memory") {
+			arg := strings.TrimSpace(strings.TrimPrefix(text, ".memory"))
+			n, err := parseNum(arg)
+			if err != nil {
+				return nil, fmt.Errorf("fixasm:%d: .memory: %v", num+1, err)
+			}
+			if n > MaxMemory {
+				return nil, fmt.Errorf("fixasm:%d: .memory %d exceeds max %d", num+1, n, MaxMemory)
+			}
+			memSize = int(n)
+			continue
+		}
+		fields := strings.Fields(text)
+		mnem := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(text[len(fields[0]):])
+		var args []string
+		if rest != "" {
+			for _, a := range strings.Split(rest, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		op, ok := mnemToOp[mnem]
+		if !ok {
+			return nil, fmt.Errorf("fixasm:%d: unknown mnemonic %q", num+1, mnem)
+		}
+		lines = append(lines, line{num: num + 1, mnem: mnem, args: args, offset: offset})
+		offset += 1 + operandLen(specs[op].ops)
+	}
+
+	code := make([]byte, 0, offset)
+	for _, ln := range lines {
+		op := mnemToOp[ln.mnem]
+		spec := specs[op]
+		if len(ln.args) != len(spec.ops) {
+			return nil, fmt.Errorf("fixasm:%d: %s wants %d operands, got %d", ln.num, spec.name, len(spec.ops), len(ln.args))
+		}
+		code = append(code, op)
+		for i, kind := range spec.ops {
+			arg := ln.args[i]
+			switch kind {
+			case 'r':
+				r, err := parseReg(arg)
+				if err != nil {
+					return nil, fmt.Errorf("fixasm:%d: %v", ln.num, err)
+				}
+				code = append(code, r)
+			case 'h':
+				fn, ok := hostNames[strings.ToLower(arg)]
+				if !ok {
+					return nil, fmt.Errorf("fixasm:%d: unknown host function %q", ln.num, arg)
+				}
+				code = append(code, fn)
+			case 't':
+				target, ok := labels[arg]
+				if !ok {
+					return nil, fmt.Errorf("fixasm:%d: undefined label %q", ln.num, arg)
+				}
+				code = binary.LittleEndian.AppendUint32(code, uint32(target))
+			case 'i':
+				v, err := parseNum(arg)
+				if err != nil {
+					return nil, fmt.Errorf("fixasm:%d: %v", ln.num, err)
+				}
+				if v > (1<<31)-1 || v < -(1<<31) {
+					return nil, fmt.Errorf("fixasm:%d: imm32 out of range: %s", ln.num, arg)
+				}
+				code = binary.LittleEndian.AppendUint32(code, uint32(int32(v)))
+			case 'I':
+				v, err := parseNum(arg)
+				if err != nil {
+					return nil, fmt.Errorf("fixasm:%d: %v", ln.num, err)
+				}
+				code = binary.LittleEndian.AppendUint64(code, uint64(v))
+			}
+		}
+	}
+
+	out := make([]byte, 0, headerLen+len(code))
+	out = append(out, bytecodeVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(memSize))
+	out = append(out, code...)
+	if _, err := Load(out); err != nil {
+		return nil, fmt.Errorf("fixasm: assembled output failed validation: %w", err)
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for known-good sources (the codelet standard
+// library); it panics on error.
+func MustAssemble(src string) []byte {
+	out, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (byte, error) {
+	s = strings.ToLower(s)
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= numRegisters {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return byte(n), nil
+}
+
+func parseNum(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}

@@ -1,0 +1,80 @@
+package codelet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders FixVM bytecode as annotated fixasm text, one
+// instruction per line with code offsets. It is the inverse of Assemble up
+// to label naming (targets are printed as L<offset> with synthetic label
+// lines inserted).
+func Disassemble(bytecode []byte) (string, error) {
+	p, err := Load(bytecode)
+	if err != nil {
+		return "", err
+	}
+	code := p.code
+
+	// Collect jump targets for label synthesis.
+	targets := make(map[int]bool)
+	for pc := 0; pc < len(code); {
+		spec := specs[code[pc]]
+		cursor := pc + 1
+		for _, k := range spec.ops {
+			switch k {
+			case 'r', 'h':
+				cursor++
+			case 't':
+				targets[int(binary.LittleEndian.Uint32(code[cursor:]))] = true
+				cursor += 4
+			case 'i':
+				cursor += 4
+			case 'I':
+				cursor += 8
+			}
+		}
+		pc = cursor
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".memory %d\n", p.memSize)
+	hostName := make(map[byte]string, len(hostNames))
+	for name, fn := range hostNames {
+		hostName[fn] = name
+	}
+	for pc := 0; pc < len(code); {
+		if targets[pc] {
+			fmt.Fprintf(&b, "L%d:\n", pc)
+		}
+		op := code[pc]
+		spec := specs[op]
+		fmt.Fprintf(&b, "    %-5s", spec.name)
+		cursor := pc + 1
+		var args []string
+		for _, k := range spec.ops {
+			switch k {
+			case 'r':
+				args = append(args, fmt.Sprintf("r%d", code[cursor]))
+				cursor++
+			case 'h':
+				args = append(args, hostName[code[cursor]])
+				cursor++
+			case 't':
+				args = append(args, fmt.Sprintf("L%d", binary.LittleEndian.Uint32(code[cursor:])))
+				cursor += 4
+			case 'i':
+				args = append(args, fmt.Sprintf("%d", int32(binary.LittleEndian.Uint32(code[cursor:]))))
+				cursor += 4
+			case 'I':
+				args = append(args, fmt.Sprintf("%d", binary.LittleEndian.Uint64(code[cursor:])))
+				cursor += 8
+			}
+		}
+		b.WriteString(strings.Join(args, ", "))
+		fmt.Fprintf(&b, " ; @%d\n", pc)
+		pc = cursor
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,198 @@
+// Package codelet implements FixVM: the deterministic, sandboxed,
+// gas-metered virtual machine this reproduction uses in place of the
+// paper's ahead-of-time-compiled Wasm machine codelets.
+//
+// Like the paper's codelets, FixVM programs are black-box code that runs in
+// the runtime's address space with software fault isolation: a private
+// linear memory with bounds-checked access, an externref-style handle table
+// (programs hold opaque slot indices, never raw handle bytes), no syscalls,
+// no clocks, no nondeterminism, and a host API that is exactly the Fixpoint
+// API of core.API. A program's _fix_apply entrypoint receives its resolved
+// definition Tree in handle slot 0 and finishes by returning a handle slot.
+//
+// The package also contains the "trusted toolchain": an assembler from
+// fixasm text to validated bytecode (the stand-in for wasm2c + clang +
+// lld), a disassembler, and a standard library of codelets used by the
+// examples and benchmarks.
+package codelet
+
+import "fmt"
+
+// Bytecode layout: [version u8 = 1][memSize u32 LE][code...]
+const (
+	bytecodeVersion = 1
+	headerLen       = 5
+)
+
+// MaxMemory bounds a codelet's linear memory regardless of its header.
+const MaxMemory = 64 << 20
+
+// MaxHandleSlots bounds the handle table.
+const MaxHandleSlots = 1 << 16
+
+// MaxCallDepth bounds the subroutine call stack.
+const MaxCallDepth = 1024
+
+// DefaultGas is the instruction budget used when an invocation's Limits
+// carry no explicit gas.
+const DefaultGas = 1 << 26
+
+// Opcodes. Operand layouts are noted beside each; r* are single register
+// bytes, imm64 is 8 bytes LE, imm32/target are 4 bytes LE.
+const (
+	opNop  byte = iota // -
+	opRet              // rs       : return handle in slot reg[rs]
+	opTrap             // -        : deterministic failure
+	opLi               // rd imm64
+	opMov              // rd ra
+	opAdd              // rd ra rb
+	opSub              // rd ra rb
+	opMul              // rd ra rb
+	opDivu             // rd ra rb : trap on /0
+	opRemu             // rd ra rb : trap on /0
+	opAnd              // rd ra rb
+	opOr               // rd ra rb
+	opXor              // rd ra rb
+	opShl              // rd ra rb : shift amount masked to 63
+	opShr              // rd ra rb
+	opSltu             // rd ra rb : rd = (ra < rb) unsigned
+	opSlts             // rd ra rb : rd = (ra < rb) signed
+	opAddi             // rd ra imm32 (sign-extended)
+	opLd8              // rd ra imm32 : rd = mem[ra+imm]
+	opLd16             // rd ra imm32
+	opLd32             // rd ra imm32
+	opLd64             // rd ra imm32
+	opSt8              // ra imm32 rs : mem[ra+imm] = rs
+	opSt16             // ra imm32 rs
+	opSt32             // ra imm32 rs
+	opSt64             // ra imm32 rs
+	opJmp              // target
+	opJz               // ra target
+	opJnz              // ra target
+	opBeq              // ra rb target
+	opBne              // ra rb target
+	opBltu             // ra rb target
+	opBgeu             // ra rb target
+	opCall             // target
+	opRetn             // -
+	opHost             // fn u8
+	opCount
+)
+
+// Host function numbers (operand of opHost). Calling convention: arguments
+// in r1..r3, result in r0. "slot" arguments are handle-table indices.
+const (
+	hostSizeOf         byte = iota // r1=slot            → r0=size
+	hostKindOf                     // r1=slot            → r0=kind
+	hostRefKindOf                  // r1=slot            → r0=refkind
+	hostAttachBlob                 // r1=slot r2=dst     → r0=len (copies blob into memory)
+	hostTreeChild                  // r1=slot r2=index   → r0=child slot
+	hostCreateBlob                 // r1=addr r2=len     → r0=slot
+	hostCreateTree                 // r1=addr r2=count   → r0=slot (addr: u32 slot indices)
+	hostApplication                // r1=slot            → r0=slot
+	hostIdentification             // r1=slot            → r0=slot
+	hostSelection                  // r1=slot r2=index   → r0=slot
+	hostSelectionRange             // r1=slot r2=lo r3=hi→ r0=slot
+	hostStrict                     // r1=slot            → r0=slot
+	hostShallow                    // r1=slot            → r0=slot
+	hostLitU64                     // r1=value           → r0=slot
+	hostReadU64                    // r1=slot            → r0=value
+	hostEqual                      // r1=slot r2=slot    → r0=0/1
+	hostCount
+)
+
+// hostNames maps assembler names to host function numbers.
+var hostNames = map[string]byte{
+	"size_of":         hostSizeOf,
+	"kind_of":         hostKindOf,
+	"refkind_of":      hostRefKindOf,
+	"attach_blob":     hostAttachBlob,
+	"tree_child":      hostTreeChild,
+	"create_blob":     hostCreateBlob,
+	"create_tree":     hostCreateTree,
+	"application":     hostApplication,
+	"identification":  hostIdentification,
+	"selection":       hostSelection,
+	"selection_range": hostSelectionRange,
+	"strict":          hostStrict,
+	"shallow":         hostShallow,
+	"lit_u64":         hostLitU64,
+	"read_u64":        hostReadU64,
+	"equal":           hostEqual,
+}
+
+// instrSpec describes an opcode's mnemonic and operand layout for the
+// assembler, disassembler, and validator. Operand kinds: 'r' register
+// byte, 'I' imm64, 'i' imm32, 't' code target u32, 'h' host fn byte.
+type instrSpec struct {
+	name string
+	ops  string
+}
+
+var specs = [opCount]instrSpec{
+	opNop:  {"nop", ""},
+	opRet:  {"ret", "r"},
+	opTrap: {"trap", ""},
+	opLi:   {"li", "rI"},
+	opMov:  {"mov", "rr"},
+	opAdd:  {"add", "rrr"},
+	opSub:  {"sub", "rrr"},
+	opMul:  {"mul", "rrr"},
+	opDivu: {"divu", "rrr"},
+	opRemu: {"remu", "rrr"},
+	opAnd:  {"and", "rrr"},
+	opOr:   {"or", "rrr"},
+	opXor:  {"xor", "rrr"},
+	opShl:  {"shl", "rrr"},
+	opShr:  {"shr", "rrr"},
+	opSltu: {"sltu", "rrr"},
+	opSlts: {"slts", "rrr"},
+	opAddi: {"addi", "rri"},
+	opLd8:  {"ld8", "rri"},
+	opLd16: {"ld16", "rri"},
+	opLd32: {"ld32", "rri"},
+	opLd64: {"ld64", "rri"},
+	opSt8:  {"st8", "rir"},
+	opSt16: {"st16", "rir"},
+	opSt32: {"st32", "rir"},
+	opSt64: {"st64", "rir"},
+	opJmp:  {"jmp", "t"},
+	opJz:   {"jz", "rt"},
+	opJnz:  {"jnz", "rt"},
+	opBeq:  {"beq", "rrt"},
+	opBne:  {"bne", "rrt"},
+	opBltu: {"bltu", "rrt"},
+	opBgeu: {"bgeu", "rrt"},
+	opCall: {"call", "t"},
+	opRetn: {"retn", ""},
+	opHost: {"host", "h"},
+}
+
+func operandLen(ops string) int {
+	n := 0
+	for _, k := range ops {
+		switch k {
+		case 'r', 'h':
+			n++
+		case 'i', 't':
+			n += 4
+		case 'I':
+			n += 8
+		}
+	}
+	return n
+}
+
+// numRegisters is the size of the register file.
+const numRegisters = 16
+
+// TrapError reports a deterministic codelet failure (bounds violation,
+// divide by zero, gas exhaustion, explicit trap, host API error, ...).
+type TrapError struct {
+	PC     int
+	Reason string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("codelet: trap at pc=%d: %s", e.PC, e.Reason)
+}

@@ -1,0 +1,63 @@
+package core
+
+// BasicAPI implements the Fixpoint API over a Store with no minimum-
+// repository enforcement. It is the client-side counterpart of the
+// runtime's sandboxed API: programs that *construct* invocations (clients,
+// examples, tests) use it to build Trees and Thunks; running procedures get
+// the enforcing implementation from the runtime instead.
+type BasicAPI struct {
+	S Store
+}
+
+// AttachBlob reads a Blob's contents.
+func (a BasicAPI) AttachBlob(h Handle) ([]byte, error) { return a.S.Blob(h) }
+
+// AttachTree reads a Tree's entries.
+func (a BasicAPI) AttachTree(h Handle) ([]Handle, error) { return a.S.Tree(h) }
+
+// CreateBlob stores a Blob.
+func (a BasicAPI) CreateBlob(data []byte) Handle { return a.S.PutBlob(data) }
+
+// CreateTree stores a Tree.
+func (a BasicAPI) CreateTree(entries []Handle) (Handle, error) { return a.S.PutTree(entries) }
+
+// Application creates an Application Thunk.
+func (a BasicAPI) Application(tree Handle) (Handle, error) { return Application(tree) }
+
+// Identification creates an Identification Thunk.
+func (a BasicAPI) Identification(v Handle) (Handle, error) { return Identification(v) }
+
+// Selection creates a Selection Thunk for child index of target.
+func (a BasicAPI) Selection(target Handle, index uint64) (Handle, error) {
+	tree, err := a.S.PutTree(SelectionEntries(target, index))
+	if err != nil {
+		return Handle{}, err
+	}
+	return SelectionThunk(tree)
+}
+
+// SelectionRange creates a Selection Thunk for the subrange [begin, end).
+func (a BasicAPI) SelectionRange(target Handle, begin, end uint64) (Handle, error) {
+	tree, err := a.S.PutTree(SelectionRangeEntries(target, begin, end))
+	if err != nil {
+		return Handle{}, err
+	}
+	return SelectionThunk(tree)
+}
+
+// Strict wraps a Thunk in a Strict Encode.
+func (a BasicAPI) Strict(thunk Handle) (Handle, error) { return Strict(thunk) }
+
+// Shallow wraps a Thunk in a Shallow Encode.
+func (a BasicAPI) Shallow(thunk Handle) (Handle, error) { return Shallow(thunk) }
+
+// SizeOf reports the referent's size.
+func (a BasicAPI) SizeOf(h Handle) uint64 { return h.Size() }
+
+// KindOf reports the referent's shape.
+func (a BasicAPI) KindOf(h Handle) Kind { return h.Kind() }
+
+// RefKindOf reports the Handle's reference kind.
+func (a BasicAPI) RefKindOf(h Handle) RefKind { return h.RefKind() }
+
+var _ API = BasicAPI{}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Ablation: literal handles make small Blobs free — no hashing, no storage.
+func BenchmarkBlobHandleLiteral(b *testing.B) {
+	data := []byte("30-bytes-or-less-stays-inline")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkHandle = BlobHandle(data)
+	}
+}
+
+func BenchmarkBlobHandleHashed(b *testing.B) {
+	data := bytes.Repeat([]byte{7}, 31) // one byte over the literal limit
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkHandle = BlobHandle(data)
+	}
+}
+
+func BenchmarkBlobHandleHashed4K(b *testing.B) {
+	data := bytes.Repeat([]byte{7}, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		sinkHandle = BlobHandle(data)
+	}
+}
+
+func BenchmarkTreeHandle(b *testing.B) {
+	entries := make([]Handle, 16)
+	for i := range entries {
+		entries[i] = LiteralU64(uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkHandle = TreeHandle(entries)
+	}
+}
+
+func BenchmarkThunkTagging(b *testing.B) {
+	tree := TreeHandle([]Handle{LiteralU64(1)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		th, _ := Application(tree)
+		sinkHandle, _ = Strict(th)
+	}
+}
+
+func BenchmarkTreeEncodeDecode(b *testing.B) {
+	entries := make([]Handle, 64)
+	for i := range entries {
+		entries[i] = LiteralU64(uint64(i))
+	}
+	enc := EncodeTree(entries)
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTree(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var sinkHandle Handle

@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// EncodeTree packs a Tree into its canonical byte representation: the
+// concatenation of its entries' 32-byte Handles. This is both the hashing
+// preimage and the wire format.
+func EncodeTree(entries []Handle) []byte {
+	out := make([]byte, 0, len(entries)*HandleSize)
+	for _, e := range entries {
+		out = append(out, e[:]...)
+	}
+	return out
+}
+
+// DecodeTree unpacks the canonical byte representation of a Tree. Every
+// entry is validated.
+func DecodeTree(data []byte) ([]Handle, error) {
+	if len(data)%HandleSize != 0 {
+		return nil, fmt.Errorf("core: tree encoding length %d not a multiple of %d", len(data), HandleSize)
+	}
+	entries := make([]Handle, len(data)/HandleSize)
+	for i := range entries {
+		copy(entries[i][:], data[i*HandleSize:])
+		if err := entries[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: tree entry %d: %w", i, err)
+		}
+	}
+	return entries, nil
+}
+
+// ObjectBytes returns the canonical byte representation of a stored value:
+// the Blob contents for Blobs, EncodeTree for Trees. It is what travels on
+// the wire alongside a Handle.
+func ObjectBytes(h Handle, blob []byte, tree []Handle) []byte {
+	if h.Kind() == KindTree {
+		return EncodeTree(tree)
+	}
+	return blob
+}

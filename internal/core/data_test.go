@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeEncodeDecodeRoundTrip(t *testing.T) {
+	entries := []Handle{
+		BlobHandle([]byte("short")),
+		TreeHandle(nil),
+		LiteralU64(12345),
+	}
+	th, _ := Application(TreeHandle(entries))
+	entries = append(entries, th)
+	enc := EncodeTree(entries)
+	if len(enc) != len(entries)*HandleSize {
+		t.Fatalf("encoded length = %d", len(enc))
+	}
+	dec, err := DecodeTree(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(dec), len(entries))
+	}
+	for i := range dec {
+		if dec[i] != entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeTreeBadLength(t *testing.T) {
+	if _, err := DecodeTree(make([]byte, 33)); err == nil {
+		t.Fatal("expected error for ragged tree bytes")
+	}
+}
+
+func TestDecodeTreeRejectsInvalidEntry(t *testing.T) {
+	h := BlobHandle([]byte("x"))
+	h[flagsByte] |= flagReservedBit
+	if _, err := DecodeTree(h[:]); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestTreeHandleDependsOnOrder(t *testing.T) {
+	a, b := LiteralU64(1), LiteralU64(2)
+	if TreeHandle([]Handle{a, b}) == TreeHandle([]Handle{b, a}) {
+		t.Fatal("tree handle must depend on entry order")
+	}
+}
+
+// Property: EncodeTree/DecodeTree round-trip over random valid handles.
+func TestTreeRoundTripProperty(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		entries := make([]Handle, len(blobs))
+		for i, b := range blobs {
+			entries[i] = BlobHandle(b)
+		}
+		dec, err := DecodeTree(EncodeTree(entries))
+		if err != nil || len(dec) != len(entries) {
+			return false
+		}
+		for i := range dec {
+			if dec[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectBytes(t *testing.T) {
+	blob := []byte("hello world, this is a blob")
+	bh := BlobHandle(blob)
+	if got := ObjectBytes(bh, blob, nil); string(got) != string(blob) {
+		t.Fatal("blob bytes mismatch")
+	}
+	entries := []Handle{bh}
+	th := TreeHandle(entries)
+	if got := ObjectBytes(th, nil, entries); len(got) != HandleSize {
+		t.Fatal("tree bytes mismatch")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Limits is the resource-limit descriptor carried as the first entry of
+// every Application Thunk's definition Tree. It bounds the hardware
+// resources available to the invocation and optionally hints the output
+// size so schedulers can include the cost of moving the result in their
+// data-movement estimates (section 4.2.2).
+type Limits struct {
+	// MemoryBytes is the RAM reservation for the invocation.
+	MemoryBytes uint64
+	// Gas bounds codelet execution (instruction budget in FixVM). Zero
+	// means the runtime default.
+	Gas uint64
+	// OutputSizeHint, when nonzero, estimates the result size in bytes.
+	OutputSizeHint uint64
+}
+
+// limitsLen is the encoded length; at 24 bytes a Limits Blob is always a
+// literal, so limits never require storage or transfer.
+const limitsLen = 24
+
+// Encode packs the Limits into its canonical 24-byte Blob representation.
+func (l Limits) Encode() []byte {
+	buf := make([]byte, limitsLen)
+	binary.LittleEndian.PutUint64(buf[0:], l.MemoryBytes)
+	binary.LittleEndian.PutUint64(buf[8:], l.Gas)
+	binary.LittleEndian.PutUint64(buf[16:], l.OutputSizeHint)
+	return buf
+}
+
+// Handle returns the literal Blob Handle of the encoded Limits.
+func (l Limits) Handle() Handle { return BlobHandle(l.Encode()) }
+
+// DecodeLimits unpacks a Limits Blob.
+func DecodeLimits(data []byte) (Limits, error) {
+	if len(data) != limitsLen {
+		return Limits{}, fmt.Errorf("core: limits blob must be %d bytes, got %d", limitsLen, len(data))
+	}
+	return Limits{
+		MemoryBytes:    binary.LittleEndian.Uint64(data[0:]),
+		Gas:            binary.LittleEndian.Uint64(data[8:]),
+		OutputSizeHint: binary.LittleEndian.Uint64(data[16:]),
+	}, nil
+}
+
+// DefaultLimits is used when an invocation Tree's limits entry is the empty
+// Blob.
+var DefaultLimits = Limits{MemoryBytes: 1 << 30, Gas: 1 << 30}

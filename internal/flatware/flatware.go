@@ -1,0 +1,286 @@
+// Package flatware implements the paper's Flatware layer (section 4.1.4
+// and Fig. 4/5): a Unix-like filesystem represented as nested Fix Trees,
+// a get-file procedure that descends directories with pinpoint Selection
+// dependencies (Algorithm 3), and ports of the two SeBS serverless
+// functions of section 5.6 (dynamic-html and compression).
+//
+// A directory is Tree[info, entry0, entry1, ...]: info is a Blob mapping
+// indices to names (and kinds), entries are file Blobs or subdirectory
+// Trees in the same order. The get-file procedure never adds directory
+// contents to any minimum repository: each step strictly selects only the
+// next directory's info Blob and shallowly selects the directory itself.
+package flatware
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fixgo/internal/core"
+	"fixgo/internal/runtime"
+)
+
+// Dir is the host-side description of a directory used to build FS trees.
+type Dir struct {
+	Files map[string][]byte
+	Dirs  map[string]*Dir
+}
+
+// NewDir returns an empty directory.
+func NewDir() *Dir {
+	return &Dir{Files: make(map[string][]byte), Dirs: make(map[string]*Dir)}
+}
+
+// AddFile adds a file at a slash-separated path, creating directories.
+func (d *Dir) AddFile(path string, data []byte) {
+	segs := strings.Split(strings.Trim(path, "/"), "/")
+	cur := d
+	for _, seg := range segs[:len(segs)-1] {
+		child := cur.Dirs[seg]
+		if child == nil {
+			child = NewDir()
+			cur.Dirs[seg] = child
+		}
+		cur = child
+	}
+	cur.Files[segs[len(segs)-1]] = data
+}
+
+// dirent is one info entry.
+type dirent struct {
+	name  string
+	isDir bool
+}
+
+// EncodeInfo packs a directory's index→name mapping.
+func EncodeInfo(entries []dirent) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(entries)))
+	for _, e := range entries {
+		if e.isDir {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
+		out = append(out, e.name...)
+	}
+	return out
+}
+
+// DecodeInfo unpacks a directory info Blob into names and kinds.
+func DecodeInfo(data []byte) (names []string, isDir []bool, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("flatware: info blob too short")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 3 {
+			return nil, nil, fmt.Errorf("flatware: truncated info blob")
+		}
+		isDir = append(isDir, data[0] == 1)
+		l := int(binary.LittleEndian.Uint16(data[1:3]))
+		data = data[3:]
+		if len(data) < l {
+			return nil, nil, fmt.Errorf("flatware: truncated name")
+		}
+		names = append(names, string(data[:l]))
+		data = data[l:]
+	}
+	return names, isDir, nil
+}
+
+// Build stores the directory as a Fix Tree and returns its handle; the
+// directory's info Blob is entry 0.
+func (d *Dir) Build(st core.Store) (core.Handle, error) {
+	names := make([]string, 0, len(d.Files)+len(d.Dirs))
+	for n := range d.Files {
+		names = append(names, n)
+	}
+	for n := range d.Dirs {
+		if _, dup := d.Files[n]; dup {
+			return core.Handle{}, fmt.Errorf("flatware: %q is both file and directory", n)
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	info := make([]dirent, 0, len(names))
+	entries := []core.Handle{{}}
+	for _, n := range names {
+		if sub, ok := d.Dirs[n]; ok {
+			h, err := sub.Build(st)
+			if err != nil {
+				return core.Handle{}, err
+			}
+			info = append(info, dirent{name: n, isDir: true})
+			entries = append(entries, h)
+			continue
+		}
+		info = append(info, dirent{name: n, isDir: false})
+		entries = append(entries, st.PutBlob(d.Files[n]))
+	}
+	entries[0] = st.PutBlob(EncodeInfo(info))
+	return st.PutTree(entries)
+}
+
+// ReadFile walks the stored FS host-side (for verification and tooling).
+func ReadFile(st core.Store, root core.Handle, path string) ([]byte, error) {
+	cur := root
+	segs := strings.Split(strings.Trim(path, "/"), "/")
+	for i, seg := range segs {
+		entries, err := st.Tree(cur)
+		if err != nil {
+			return nil, err
+		}
+		info, err := st.Blob(entries[0])
+		if err != nil {
+			return nil, err
+		}
+		names, isDir, err := DecodeInfo(info)
+		if err != nil {
+			return nil, err
+		}
+		idx := sort.SearchStrings(names, seg)
+		if idx >= len(names) || names[idx] != seg {
+			return nil, fmt.Errorf("flatware: %q not found", path)
+		}
+		last := i == len(segs)-1
+		switch {
+		case last && !isDir[idx]:
+			return st.Blob(entries[1+idx])
+		case !last && isDir[idx]:
+			cur = entries[1+idx]
+		default:
+			return nil, fmt.Errorf("flatware: %q: wrong kind at %q", path, seg)
+		}
+	}
+	return nil, fmt.Errorf("flatware: empty path")
+}
+
+// List returns all file paths under root (host-side).
+func List(st core.Store, root core.Handle) ([]string, error) {
+	var out []string
+	var walk func(h core.Handle, prefix string) error
+	walk = func(h core.Handle, prefix string) error {
+		entries, err := st.Tree(h)
+		if err != nil {
+			return err
+		}
+		info, err := st.Blob(entries[0])
+		if err != nil {
+			return err
+		}
+		names, isDir, err := DecodeInfo(info)
+		if err != nil {
+			return err
+		}
+		for i, n := range names {
+			if isDir[i] {
+				if err := walk(entries[1+i], prefix+n+"/"); err != nil {
+					return err
+				}
+			} else {
+				out = append(out, prefix+n)
+			}
+		}
+		return nil
+	}
+	if err := walk(root, ""); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetFileProcName is the registry name of the Algorithm 3 procedure.
+const GetFileProcName = "flatware/get-file"
+
+// RegisterGetFile installs the get-file procedure.
+//
+// flatware/get-file: [limits, fn, path, info, dirRef] — info is the
+// current directory's index→name Blob (accessible), dirRef the directory
+// Tree as a Ref. Each step resolves one path component: it returns
+// strict(selection(dirRef, 1+i)) for the file, or a new Application that
+// strictly selects the subdirectory's info and shallowly selects the
+// subdirectory itself.
+func RegisterGetFile(reg *runtime.Registry) {
+	reg.RegisterFunc(GetFileProcName, func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if len(entries) != 5 {
+			return core.Handle{}, fmt.Errorf("get-file: want 5 entries, got %d", len(entries))
+		}
+		pathRaw, err := api.AttachBlob(entries[2])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		info, err := api.AttachBlob(entries[3])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		dirRef := entries[4]
+		path := strings.Trim(string(pathRaw), "/")
+		seg, rest, _ := strings.Cut(path, "/")
+		names, isDir, err := DecodeInfo(info)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		idx := sort.SearchStrings(names, seg)
+		if idx >= len(names) || names[idx] != seg {
+			return core.Handle{}, fmt.Errorf("get-file: %q not found", seg)
+		}
+		childSel, err := api.Selection(dirRef, uint64(1+idx))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if rest == "" {
+			if isDir[idx] {
+				return core.Handle{}, fmt.Errorf("get-file: %q is a directory", seg)
+			}
+			return api.Strict(childSel)
+		}
+		if !isDir[idx] {
+			return core.Handle{}, fmt.Errorf("get-file: %q is not a directory", seg)
+		}
+		infoSel, err := api.Selection(childSel, 0)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		e1, err := api.Strict(infoSel)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		e2, err := api.Shallow(childSel)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		next, err := api.CreateTree([]core.Handle{entries[0], entries[1], api.CreateBlob([]byte(rest)), e1, e2})
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return api.Application(next)
+	})
+}
+
+// GetFileJob builds the Strict Encode that reads path from the FS rooted
+// at root. Only the root's info Blob enters the first step's repository;
+// the rest of the filesystem is reached by Selections.
+func GetFileJob(st core.Store, root core.Handle, path string) (core.Handle, error) {
+	entries, err := st.Tree(root)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	lim := core.DefaultLimits.Handle()
+	fn := st.PutBlob(core.NativeFunctionBlob(GetFileProcName))
+	tree, err := st.PutTree([]core.Handle{lim, fn, st.PutBlob([]byte(path)), entries[0], root.AsRef()})
+	if err != nil {
+		return core.Handle{}, err
+	}
+	th, err := core.Application(tree)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	return core.Strict(th)
+}

@@ -1,0 +1,213 @@
+package flatware
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/flate"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"fixgo/internal/core"
+	"fixgo/internal/runtime"
+	"fixgo/internal/store"
+)
+
+func sampleFS() *Dir {
+	d := NewDir()
+	d.AddFile("templates/template.html", []byte("<h1>Hello {{.Username}}</h1><ul>{{range .Numbers}}<li>{{.}}</li>{{end}}</ul>"))
+	d.AddFile("lib/jinja2/__init__.py", []byte("# jinja2 stand-in"))
+	d.AddFile("lib/markupsafe/__init__.py", []byte("# markupsafe stand-in"))
+	d.AddFile("dynamic-html.py", []byte("print('hello')"))
+	d.AddFile("data/a.txt", bytes.Repeat([]byte("alpha "), 100))
+	d.AddFile("data/deep/nested/b.txt", []byte("bottom of the tree"))
+	return d
+}
+
+func newEngine(t *testing.T, st *store.Store) *runtime.Engine {
+	t.Helper()
+	reg := runtime.NewRegistry()
+	RegisterGetFile(reg)
+	RegisterSeBS(reg)
+	return runtime.New(st, runtime.Options{Cores: 2, Registry: reg})
+}
+
+func TestBuildAndHostRead(t *testing.T) {
+	st := store.New()
+	root, err := sampleFS().Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(st, root, "data/deep/nested/b.txt")
+	if err != nil || string(got) != "bottom of the tree" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if _, err := ReadFile(st, root, "data/none.txt"); err == nil {
+		t.Fatal("expected not-found")
+	}
+	if _, err := ReadFile(st, root, "data/deep"); err == nil {
+		t.Fatal("reading a directory should fail")
+	}
+	paths, err := List(st, root)
+	if err != nil || len(paths) != 6 {
+		t.Fatalf("list: %v %v", paths, err)
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	entries := []dirent{{"alpha", false}, {"beta", true}, {"gamma", false}}
+	names, isDir, err := DecodeInfo(EncodeInfo(entries))
+	if err != nil || len(names) != 3 {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if names[i] != e.name || isDir[i] != e.isDir {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	if _, _, err := DecodeInfo([]byte{1, 2}); err == nil {
+		t.Fatal("short info should fail")
+	}
+}
+
+func TestGetFileProcedure(t *testing.T) {
+	st := store.New()
+	e := newEngine(t, st)
+	root, err := sampleFS().Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"dynamic-html.py", "templates/template.html", "data/deep/nested/b.txt"} {
+		job, err := GetFileJob(st, root, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.EvalBlob(context.Background(), job)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		want, _ := ReadFile(st, root, path)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: mismatch", path)
+		}
+	}
+}
+
+func TestGetFileErrors(t *testing.T) {
+	st := store.New()
+	e := newEngine(t, st)
+	root, _ := sampleFS().Build(st)
+	for _, path := range []string{"missing.txt", "data/deep", "dynamic-html.py/nope"} {
+		job, err := GetFileJob(st, root, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EvalBlob(context.Background(), job); err == nil {
+			t.Fatalf("%s: expected error", path)
+		}
+	}
+}
+
+func TestGetFileMinimalFootprint(t *testing.T) {
+	// get_file must not fetch sibling subtrees: with the FS served
+	// remotely, only the directories on the path (plus their infos and
+	// the file) are fetched.
+	st := store.New()
+	remote := store.New()
+	d := sampleFS()
+	// A large sibling subtree that must not move.
+	big := NewDir()
+	for i := 0; i < 50; i++ {
+		big.AddFile(strings.Repeat("x", i+1)+".bin", bytes.Repeat([]byte{byte(i)}, 4096))
+	}
+	d.Dirs["bigdir"] = big
+	root, err := d.Build(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetched int
+	reg := runtime.NewRegistry()
+	RegisterGetFile(reg)
+	e := runtime.New(st, runtime.Options{Cores: 2, Registry: reg,
+		Fetcher: runtime.FetcherFunc(func(ctx context.Context, h core.Handle) ([]byte, error) {
+			fetched++
+			return remote.ObjectBytes(h)
+		})})
+	// Client knows the root info + tree handles (copy just those).
+	rootEntries, _ := remote.Tree(root)
+	rootInfo, _ := remote.Blob(rootEntries[0])
+	st.PutBlob(rootInfo)
+	st.PutTree(rootEntries)
+	job, err := GetFileJob(st, root, "data/deep/nested/b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EvalBlob(context.Background(), job)
+	if err != nil || string(got) != "bottom of the tree" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if fetched > 12 {
+		t.Fatalf("fetched %d objects; big sibling dir must not be pulled", fetched)
+	}
+}
+
+func TestDynamicHTML(t *testing.T) {
+	st := store.New()
+	e := newEngine(t, st)
+	root, _ := sampleFS().Build(st)
+	job, err := DynamicHTMLJob(st, root, "yuhan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.EvalBlob(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(out)
+	if !strings.Contains(html, "Hello yuhan") || !strings.Contains(html, "<li>") {
+		t.Fatalf("rendered html = %q", html)
+	}
+	// Determinism: same input, same bytes.
+	out2, err := e.EvalBlob(context.Background(), job)
+	if err != nil || !bytes.Equal(out, out2) {
+		t.Fatal("dynamic-html not deterministic")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	st := store.New()
+	e := newEngine(t, st)
+	root, _ := sampleFS().Build(st)
+	job, err := CompressionJob(st, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.EvalBlob(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decompress and check the archive contains every file.
+	fr := flate.NewReader(bytes.NewReader(out))
+	tr := tar.NewReader(fr)
+	got := map[string]bool{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, tr); err != nil {
+			t.Fatal(err)
+		}
+		got[hdr.Name] = true
+	}
+	paths, _ := List(st, root)
+	for _, p := range paths {
+		if !got[p] {
+			t.Fatalf("archive missing %q", p)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package flatware
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"text/template"
+
+	"fixgo/internal/core"
+	"fixgo/internal/runtime"
+)
+
+// Ports of the two SeBS benchmark functions of section 5.6. Both receive
+// their dependencies as a Flatware filesystem Tree placed wholly in the
+// minimum repository ("programmers could include everything in the
+// minimum repository, as what we did for the two SeBS functions").
+//
+// Substitutions: dynamic-html renders with text/template instead of
+// Jinja, and — because Fix excludes nondeterministic I/O — the random
+// numbers SeBS would draw are generated from a seed derived
+// deterministically from the input (the delineation of nondeterminism
+// that section 6 prescribes).
+
+// Registry names.
+const (
+	DynamicHTMLProcName = "sebs/dynamic-html"
+	CompressionProcName = "sebs/compression"
+)
+
+// TemplatePath is where dynamic-html expects its template in the FS.
+const TemplatePath = "templates/template.html"
+
+// RegisterSeBS installs both ported functions.
+//
+// sebs/dynamic-html: [limits, fn, fsRoot, username] → rendered HTML Blob.
+// sebs/compression:  [limits, fn, fsRoot] → deflate(tar(files)) Blob.
+func RegisterSeBS(reg *runtime.Registry) {
+	reg.RegisterFunc(DynamicHTMLProcName, func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if len(entries) != 4 {
+			return core.Handle{}, fmt.Errorf("dynamic-html: want 4 entries, got %d", len(entries))
+		}
+		name, err := api.AttachBlob(entries[3])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		tpl, err := readFileAPI(api, entries[2], TemplatePath)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		t, err := template.New("page").Parse(string(tpl))
+		if err != nil {
+			return core.Handle{}, fmt.Errorf("dynamic-html: %w", err)
+		}
+		// Deterministic stand-in for SeBS's random number list.
+		h := fnv.New64a()
+		h.Write(name)
+		seed := h.Sum64()
+		nums := make([]uint64, 10)
+		for i := range nums {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			nums[i] = seed % 1000
+		}
+		var buf bytes.Buffer
+		err = t.Execute(&buf, map[string]any{"Username": string(name), "Numbers": nums})
+		if err != nil {
+			return core.Handle{}, fmt.Errorf("dynamic-html: %w", err)
+		}
+		return api.CreateBlob(buf.Bytes()), nil
+	})
+
+	reg.RegisterFunc(CompressionProcName, func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if len(entries) != 3 {
+			return core.Handle{}, fmt.Errorf("compression: want 3 entries, got %d", len(entries))
+		}
+		files := map[string][]byte{}
+		if err := walkAPI(api, entries[2], "", files); err != nil {
+			return core.Handle{}, err
+		}
+		paths := make([]string, 0, len(files))
+		for p := range files {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		var tarBuf bytes.Buffer
+		tw := tar.NewWriter(&tarBuf)
+		for _, p := range paths {
+			// Fixed metadata keeps the archive deterministic.
+			if err := tw.WriteHeader(&tar.Header{Name: p, Mode: 0644, Size: int64(len(files[p])), Format: tar.FormatUSTAR}); err != nil {
+				return core.Handle{}, err
+			}
+			if _, err := tw.Write(files[p]); err != nil {
+				return core.Handle{}, err
+			}
+		}
+		if err := tw.Close(); err != nil {
+			return core.Handle{}, err
+		}
+		var out bytes.Buffer
+		fw, err := flate.NewWriter(&out, flate.BestSpeed)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if _, err := fw.Write(tarBuf.Bytes()); err != nil {
+			return core.Handle{}, err
+		}
+		if err := fw.Close(); err != nil {
+			return core.Handle{}, err
+		}
+		return api.CreateBlob(out.Bytes()), nil
+	})
+}
+
+// readFileAPI walks the FS through the procedure API (everything is in
+// the minimum repository for the SeBS functions).
+func readFileAPI(api core.API, dir core.Handle, path string) ([]byte, error) {
+	files := map[string][]byte{}
+	if err := walkAPI(api, dir, "", files); err != nil {
+		return nil, err
+	}
+	data, ok := files[path]
+	if !ok {
+		return nil, fmt.Errorf("flatware: %q not in filesystem", path)
+	}
+	return data, nil
+}
+
+func walkAPI(api core.API, dir core.Handle, prefix string, out map[string][]byte) error {
+	entries, err := api.AttachTree(dir)
+	if err != nil {
+		return err
+	}
+	info, err := api.AttachBlob(entries[0])
+	if err != nil {
+		return err
+	}
+	names, isDir, err := DecodeInfo(info)
+	if err != nil {
+		return err
+	}
+	for i, n := range names {
+		if isDir[i] {
+			if err := walkAPI(api, entries[1+i], prefix+n+"/", out); err != nil {
+				return err
+			}
+			continue
+		}
+		data, err := api.AttachBlob(entries[1+i])
+		if err != nil {
+			return err
+		}
+		out[prefix+n] = data
+	}
+	return nil
+}
+
+// DynamicHTMLJob builds the Strict Encode invoking dynamic-html.
+func DynamicHTMLJob(st core.Store, fsRoot core.Handle, username string) (core.Handle, error) {
+	fn := st.PutBlob(core.NativeFunctionBlob(DynamicHTMLProcName))
+	tree, err := st.PutTree(core.InvocationTree(core.DefaultLimits.Handle(), fn, fsRoot, st.PutBlob([]byte(username))))
+	if err != nil {
+		return core.Handle{}, err
+	}
+	th, err := core.Application(tree)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	return core.Strict(th)
+}
+
+// CompressionJob builds the Strict Encode invoking compression.
+func CompressionJob(st core.Store, fsRoot core.Handle) (core.Handle, error) {
+	fn := st.PutBlob(core.NativeFunctionBlob(CompressionProcName))
+	tree, err := st.PutTree(core.InvocationTree(core.DefaultLimits.Handle(), fn, fsRoot))
+	if err != nil {
+		return core.Handle{}, err
+	}
+	th, err := core.Application(tree)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	return core.Strict(th)
+}

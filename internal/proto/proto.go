@@ -1,0 +1,193 @@
+// Package proto defines the packed binary messages Fixpoint nodes exchange
+// (section 4.2.1: the Network Worker's wire format). Because dependency
+// information travels inside Fix objects themselves — Handles carry type
+// and size, Trees carry their children — the protocol needs only a handful
+// of message types and no side metadata or extra round trips.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fixgo/internal/core"
+)
+
+// Message types.
+const (
+	// TypeHello introduces a node and advertises its resident objects.
+	TypeHello byte = iota + 1
+	// TypeAdvertise announces newly resident objects.
+	TypeAdvertise
+	// TypeRequest asks for an object's bytes.
+	TypeRequest
+	// TypeObject delivers an object's bytes.
+	TypeObject
+	// TypeMissing reports that a requested object is not resident.
+	TypeMissing
+	// TypeJob delegates the forcing of an Encode, optionally carrying
+	// pushed objects (the job's definition closure).
+	TypeJob
+	// TypeResult reports a delegated job's outcome.
+	TypeResult
+)
+
+// PushedObject is an object shipped inside a Job message.
+type PushedObject struct {
+	Handle core.Handle
+	Data   []byte
+}
+
+// Message is the union of all Fixpoint wire messages. Handles double as
+// advertisements: their metadata carries kind and size, so "what do you
+// have" is answered with bare handle lists.
+type Message struct {
+	Type    byte
+	From    string
+	Role    byte           // Hello: RoleWorker or RoleClient
+	Handle  core.Handle    // Request/Object/Missing/Job/Result: subject
+	Result  core.Handle    // Result: outcome handle
+	Hops    uint8          // Job: delegation hop count
+	Err     string         // Result: error, empty on success
+	Data    []byte         // Object: payload bytes
+	Adverts []core.Handle  // Hello/Advertise
+	Pushed  []PushedObject // Job: definition closure
+}
+
+// Node roles carried in Hello messages.
+const (
+	// RoleWorker nodes execute delegated jobs.
+	RoleWorker byte = iota
+	// RoleClient nodes hold objects and submit jobs but never receive
+	// placements.
+	RoleClient
+)
+
+// Encode packs the message.
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, 64+len(m.Data))
+	buf = append(buf, m.Type)
+	buf = appendString(buf, m.From)
+	switch m.Type {
+	case TypeHello, TypeAdvertise:
+		buf = append(buf, m.Role)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Adverts)))
+		for _, h := range m.Adverts {
+			buf = append(buf, h[:]...)
+		}
+	case TypeRequest, TypeMissing:
+		buf = append(buf, m.Handle[:]...)
+	case TypeObject:
+		buf = append(buf, m.Handle[:]...)
+		buf = appendBytes(buf, m.Data)
+	case TypeJob:
+		buf = append(buf, m.Handle[:]...)
+		buf = append(buf, m.Hops)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Pushed)))
+		for _, p := range m.Pushed {
+			buf = append(buf, p.Handle[:]...)
+			buf = appendBytes(buf, p.Data)
+		}
+	case TypeResult:
+		buf = append(buf, m.Handle[:]...)
+		buf = append(buf, m.Result[:]...)
+		buf = appendString(buf, m.Err)
+	}
+	return buf
+}
+
+// Decode unpacks a message.
+func Decode(data []byte) (*Message, error) {
+	d := decoder{buf: data}
+	m := &Message{}
+	m.Type = d.u8()
+	m.From = d.str()
+	switch m.Type {
+	case TypeHello, TypeAdvertise:
+		m.Role = d.u8()
+		n := d.u32()
+		if uint64(n)*core.HandleSize > uint64(len(data)) {
+			return nil, fmt.Errorf("proto: advert count %d too large", n)
+		}
+		m.Adverts = make([]core.Handle, n)
+		for i := range m.Adverts {
+			m.Adverts[i] = d.handle()
+		}
+	case TypeRequest, TypeMissing:
+		m.Handle = d.handle()
+	case TypeObject:
+		m.Handle = d.handle()
+		m.Data = d.bytes()
+	case TypeJob:
+		m.Handle = d.handle()
+		m.Hops = d.u8()
+		n := d.u32()
+		if uint64(n)*core.HandleSize > uint64(len(data)) {
+			return nil, fmt.Errorf("proto: push count %d too large", n)
+		}
+		m.Pushed = make([]PushedObject, n)
+		for i := range m.Pushed {
+			m.Pushed[i].Handle = d.handle()
+			m.Pushed[i].Data = d.bytes()
+		}
+	case TypeResult:
+		m.Handle = d.handle()
+		m.Result = d.handle()
+		m.Err = d.str()
+	default:
+		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
+	}
+	if d.failed {
+		return nil, fmt.Errorf("proto: truncated message (type %d, %d bytes)", m.Type, len(data))
+	}
+	return m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+type decoder struct {
+	buf    []byte
+	failed bool
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.failed || len(d.buf) < n {
+		d.failed = true
+		return make([]byte, n)
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) u8() byte    { return d.take(1)[0] }
+func (d *decoder) u32() uint32 { return binary.LittleEndian.Uint32(d.take(4)) }
+
+func (d *decoder) str() string {
+	n := int(binary.LittleEndian.Uint16(d.take(2)))
+	return string(d.take(n))
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.failed || n > len(d.buf) {
+		d.failed = true
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.take(n))
+	return out
+}
+
+func (d *decoder) handle() core.Handle {
+	var h core.Handle
+	copy(h[:], d.take(core.HandleSize))
+	return h
+}

@@ -1,0 +1,133 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"fixgo/internal/core"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	adverts := []core.Handle{
+		core.BlobHandle([]byte("a long enough blob to have a digest")),
+		core.TreeHandle(nil),
+		core.LiteralU64(9),
+	}
+	m := &Message{Type: TypeHello, From: "node-3", Role: RoleClient, Adverts: adverts}
+	got := roundTrip(t, m)
+	if got.From != "node-3" || got.Role != RoleClient || len(got.Adverts) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range adverts {
+		if got.Adverts[i] != adverts[i] {
+			t.Fatalf("advert %d mismatch", i)
+		}
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte{5}, 500)
+	h := core.BlobHandle(data)
+	m := &Message{Type: TypeObject, From: "n1", Handle: h, Data: data}
+	got := roundTrip(t, m)
+	if got.Handle != h || !bytes.Equal(got.Data, data) {
+		t.Fatal("object mismatch")
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	tree := core.TreeHandle([]core.Handle{core.LiteralU64(1)})
+	thunk, _ := core.Application(tree)
+	enc, _ := core.Strict(thunk)
+	m := &Message{
+		Type:   TypeJob,
+		From:   "client",
+		Handle: enc,
+		Hops:   2,
+		Pushed: []PushedObject{
+			{Handle: tree, Data: core.EncodeTree([]core.Handle{core.LiteralU64(1)})},
+			{Handle: core.BlobHandle(bytes.Repeat([]byte{1}, 64)), Data: bytes.Repeat([]byte{1}, 64)},
+		},
+	}
+	got := roundTrip(t, m)
+	if got.Handle != enc || got.Hops != 2 || len(got.Pushed) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Pushed[0].Handle != tree || len(got.Pushed[1].Data) != 64 {
+		t.Fatal("pushed objects mismatch")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	tree := core.TreeHandle(nil)
+	thunk, _ := core.Application(tree)
+	enc, _ := core.Strict(thunk)
+	m := &Message{Type: TypeResult, From: "n2", Handle: enc, Result: core.LiteralU64(7), Err: "boom"}
+	got := roundTrip(t, m)
+	if got.Handle != enc || got.Result != core.LiteralU64(7) || got.Err != "boom" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRequestMissingRoundTrip(t *testing.T) {
+	h := core.BlobHandle(bytes.Repeat([]byte{2}, 40))
+	for _, typ := range []byte{TypeRequest, TypeMissing} {
+		m := &Message{Type: typ, From: "x", Handle: h}
+		got := roundTrip(t, m)
+		if got.Type != typ || got.Handle != h {
+			t.Fatalf("type %d mismatch", typ)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                       // unknown type
+		{TypeHello},                // truncated
+		{TypeObject, 0},            // truncated
+		{TypeRequest, 2, 'h', 'i'}, // missing handle
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestDecodeTruncatedJob(t *testing.T) {
+	tree := core.TreeHandle(nil)
+	thunk, _ := core.Application(tree)
+	enc, _ := core.Strict(thunk)
+	m := &Message{Type: TypeJob, From: "c", Handle: enc, Pushed: []PushedObject{{Handle: tree, Data: []byte("xy")}}}
+	raw := m.Encode()
+	for cut := 1; cut < len(raw); cut += 7 {
+		if _, err := Decode(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestAdvertCountBomb(t *testing.T) {
+	// A forged huge advert count must not allocate unboundedly.
+	m := &Message{Type: TypeAdvertise, From: "evil"}
+	raw := m.Encode()
+	// Patch the count field to absurdity: [type][len16 "evil"][role][count u32]
+	raw[1+2+4+1] = 0xff
+	raw[1+2+4+2] = 0xff
+	raw[1+2+4+3] = 0xff
+	raw[1+2+4+4] = 0xff
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("expected advert bomb rejection")
+	}
+}

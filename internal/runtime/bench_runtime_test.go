@@ -1,0 +1,127 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"fixgo/internal/codelet"
+	"fixgo/internal/core"
+	"fixgo/internal/store"
+)
+
+// BenchmarkInvocation is the engine-level counterpart of Fig. 7a's
+// Fixpoint row: one warm add-codelet invocation end to end (force →
+// resolve → minimum repository → run), with distinct arguments each
+// iteration so memoization cannot short-circuit.
+func BenchmarkInvocation(b *testing.B) {
+	st := store.New()
+	e := New(st, Options{Cores: 1})
+	fn := st.PutBlob(codelet.AddFunctionBlob())
+	lim := core.DefaultLimits.Handle()
+	ctx := context.Background()
+	encs := make([]core.Handle, b.N+1)
+	for i := range encs {
+		tree, err := st.PutTree(core.InvocationTree(lim, fn, core.LiteralU64(uint64(i)), core.LiteralU64(7)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		th, _ := core.Application(tree)
+		encs[i], _ = core.Strict(th)
+	}
+	if _, err := e.Eval(ctx, encs[b.N]); err != nil { // warm the program cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(ctx, encs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoizedHit is the ablation partner of BenchmarkInvocation:
+// the identical Encode evaluated repeatedly costs one memo-table lookup.
+func BenchmarkMemoizedHit(b *testing.B) {
+	st := store.New()
+	e := New(st, Options{Cores: 1})
+	fn := st.PutBlob(codelet.AddFunctionBlob())
+	tree, err := st.PutTree(core.InvocationTree(core.DefaultLimits.Handle(), fn, core.LiteralU64(1), core.LiteralU64(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, _ := core.Application(tree)
+	enc, _ := core.Strict(th)
+	ctx := context.Background()
+	if _, err := e.Eval(ctx, enc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(ctx, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelection measures the runtime-side pinpoint dependency: one
+// Selection Thunk extracting a child from a wide tree (the primitive
+// behind get-file and the B+-tree traversal).
+func BenchmarkSelection(b *testing.B) {
+	st := store.New()
+	e := New(st, Options{Cores: 1})
+	entries := make([]core.Handle, 256)
+	for i := range entries {
+		entries[i] = core.LiteralU64(uint64(i))
+	}
+	target, err := st.PutTree(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	selTrees := make([]core.Handle, b.N)
+	for i := range selTrees {
+		tr, err := st.PutTree(core.SelectionEntries(target, uint64(i%256)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		selTrees[i], _ = core.SelectionThunk(tr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(ctx, selTrees[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeInvocation isolates the engine overhead without the VM:
+// a registered Go procedure doing nothing.
+func BenchmarkNativeInvocation(b *testing.B) {
+	reg := NewRegistry()
+	reg.RegisterFunc("nop", func(api core.API, input core.Handle) (core.Handle, error) {
+		return core.LiteralU64(0), nil
+	})
+	st := store.New()
+	e := New(st, Options{Cores: 1, Registry: reg})
+	fn := st.PutBlob(core.NativeFunctionBlob("nop"))
+	lim := core.DefaultLimits.Handle()
+	ctx := context.Background()
+	encs := make([]core.Handle, b.N)
+	for i := range encs {
+		tree, err := st.PutTree(core.InvocationTree(lim, fn, core.LiteralU64(uint64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		th, _ := core.Application(tree)
+		encs[i], _ = core.Strict(th)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(ctx, encs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,762 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/codelet"
+	"fixgo/internal/core"
+	"fixgo/internal/stats"
+	"fixgo/internal/store"
+)
+
+// ErrNotResident reports a dependency that is neither local nor fetchable.
+var ErrNotResident = errors.New("runtime: object not resident and no fetcher configured")
+
+// ErrDepthExceeded reports runaway recursive evaluation.
+var ErrDepthExceeded = errors.New("runtime: max evaluation depth exceeded")
+
+// Engine is a single Fixpoint node's execution engine: a memoizing
+// evaluator for Fix objects over a runtime store, with CPU/RAM slot
+// accounting and optional delegation of Encode forcing to other nodes.
+type Engine struct {
+	st   *store.Store
+	opts Options
+	res  *resources
+
+	futMu   sync.Mutex
+	futures map[futKey]*future
+
+	progMu sync.Mutex
+	progs  map[core.Handle]*codelet.Program
+
+	inFlight atomic.Int64
+}
+
+type futKey struct {
+	kind byte // 'T' = thunk eval, 'E' = encode force, 'S' = strictify
+	h    core.Handle
+}
+
+type future struct {
+	done chan struct{}
+	res  core.Handle
+	err  error
+}
+
+// New returns an Engine over st.
+func New(st *store.Store, opts Options) *Engine {
+	opts = opts.withDefaults()
+	cpu := opts.Cores
+	if opts.InternalIO {
+		cpu = opts.OversubscribeCores
+	}
+	return &Engine{
+		st:      st,
+		opts:    opts,
+		res:     newResources(cpu, opts.MemoryBytes),
+		futures: make(map[futKey]*future),
+		progs:   make(map[core.Handle]*codelet.Program),
+	}
+}
+
+// Store returns the engine's runtime storage.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Stats returns the engine's CPU-state collector.
+func (e *Engine) Stats() *stats.Collector { return e.opts.Stats }
+
+// InFlight reports the number of Application invocations currently being
+// prepared or executed — a load signal for distributed schedulers.
+func (e *Engine) InFlight() int64 { return e.inFlight.Load() }
+
+// Eval evaluates a Fix object to a data Handle: data evaluates to itself,
+// Thunks are evaluated until the result is not a Thunk, and Encodes are
+// forced per their style.
+func (e *Engine) Eval(ctx context.Context, h core.Handle) (core.Handle, error) {
+	return e.eval(ctx, h, 0)
+}
+
+// EvalBlob evaluates h and returns the resulting Blob's contents.
+func (e *Engine) EvalBlob(ctx context.Context, h core.Handle) ([]byte, error) {
+	r, err := e.Eval(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ensureLocal(ctx, r); err != nil {
+		return nil, err
+	}
+	return e.st.Blob(r)
+}
+
+// EvalTree evaluates h and returns the resulting Tree's entries.
+func (e *Engine) EvalTree(ctx context.Context, h core.Handle) ([]core.Handle, error) {
+	r, err := e.Eval(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ensureLocal(ctx, r); err != nil {
+		return nil, err
+	}
+	return e.st.Tree(r)
+}
+
+func (e *Engine) eval(ctx context.Context, h core.Handle, depth int) (core.Handle, error) {
+	if depth > e.opts.MaxEvalDepth {
+		return core.Handle{}, ErrDepthExceeded
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Handle{}, err
+	}
+	switch h.RefKind() {
+	case core.RefObject, core.RefRef:
+		return h, nil
+	case core.RefThunk:
+		return e.evalThunk(ctx, h, depth)
+	default:
+		return e.force(ctx, h, depth)
+	}
+}
+
+// claimFuture returns (fut, true) when the caller must compute the value
+// and complete fut, or (fut, false) when another goroutine already is.
+func (e *Engine) claimFuture(k futKey) (*future, bool) {
+	e.futMu.Lock()
+	defer e.futMu.Unlock()
+	if f, ok := e.futures[k]; ok {
+		return f, false
+	}
+	f := &future{done: make(chan struct{})}
+	e.futures[k] = f
+	return f, true
+}
+
+func (e *Engine) completeFuture(k futKey, f *future, res core.Handle, err error) {
+	f.res, f.err = res, err
+	close(f.done)
+	// Completed futures are removed; results live in the memo tables.
+	// Failed computations may thus be retried by later callers.
+	e.futMu.Lock()
+	delete(e.futures, k)
+	e.futMu.Unlock()
+}
+
+func (f *future) wait(ctx context.Context) (core.Handle, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return core.Handle{}, ctx.Err()
+	}
+}
+
+// force evaluates an Encode: the referenced Thunk is evaluated until the
+// result is not a Thunk, then delivered as an Object (Strict, deeply
+// evaluated) or as a Ref (Shallow).
+func (e *Engine) force(ctx context.Context, enc core.Handle, depth int) (core.Handle, error) {
+	if r, ok := e.st.EncodeResult(enc); ok {
+		return r, nil
+	}
+	k := futKey{'E', enc}
+	f, mine := e.claimFuture(k)
+	if !mine {
+		return f.wait(ctx)
+	}
+	res, err := e.forceSlow(ctx, enc, depth)
+	if err == nil {
+		e.st.SetEncodeResult(enc, res)
+	}
+	e.completeFuture(k, f, res, err)
+	return res, err
+}
+
+func (e *Engine) forceSlow(ctx context.Context, enc core.Handle, depth int) (core.Handle, error) {
+	thunk, err := core.EncodedThunk(enc)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	// A distributed scheduler may place this force on another node.
+	if e.opts.Delegator != nil {
+		if res, handled, derr := e.opts.Delegator.Offload(ctx, enc); handled {
+			return res, derr
+		}
+	}
+	r, err := e.evalThunk(ctx, thunk, depth+1)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if enc.EncodeStyle() == core.EncodeStrict {
+		return e.strictify(ctx, r, depth+1)
+	}
+	// Shallow: deliver as a Ref; the data need not be resident here.
+	return r.AsRef(), nil
+}
+
+// evalThunk evaluates a Thunk until the result is not a Thunk, memoizing
+// every Thunk along the tail-call chain.
+func (e *Engine) evalThunk(ctx context.Context, t core.Handle, depth int) (core.Handle, error) {
+	if r, ok := e.st.ThunkResult(t); ok {
+		return r, nil
+	}
+	k := futKey{'T', t}
+	f, mine := e.claimFuture(k)
+	if !mine {
+		return f.wait(ctx)
+	}
+	res, err := e.evalThunkSlow(ctx, t, depth)
+	e.completeFuture(k, f, res, err)
+	return res, err
+}
+
+func (e *Engine) evalThunkSlow(ctx context.Context, t core.Handle, depth int) (core.Handle, error) {
+	var chain []core.Handle
+	r := t
+	for r.RefKind() == core.RefThunk {
+		if m, ok := e.st.ThunkResult(r); ok {
+			r = m
+			continue
+		}
+		if depth+len(chain) > e.opts.MaxEvalDepth {
+			return core.Handle{}, ErrDepthExceeded
+		}
+		for _, seen := range chain {
+			if seen == r {
+				return core.Handle{}, fmt.Errorf("runtime: evaluation cycle through %v", r)
+			}
+		}
+		chain = append(chain, r)
+		next, err := e.step(ctx, r, depth+len(chain))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		r = next
+		// A procedure may return an Encode; forcing it continues the
+		// chain with its result.
+		if r.RefKind() == core.RefEncode {
+			forced, err := e.force(ctx, r, depth+len(chain))
+			if err != nil {
+				return core.Handle{}, err
+			}
+			r = forced
+		}
+	}
+	for _, s := range chain {
+		e.st.SetThunkResult(s, r)
+	}
+	return r, nil
+}
+
+// step performs one evaluation step of a Thunk.
+func (e *Engine) step(ctx context.Context, t core.Handle, depth int) (core.Handle, error) {
+	switch t.ThunkStyle() {
+	case core.ThunkIdentification:
+		def, err := core.ThunkDefinition(t)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return def.AsObject(), nil
+	case core.ThunkSelection:
+		return e.select_(ctx, t, depth)
+	default:
+		return e.apply(ctx, t, depth)
+	}
+}
+
+// select_ evaluates a Selection Thunk: a "pinpoint" data dependency. The
+// runtime — not user code — performs whatever I/O is needed to extract the
+// requested child or subrange, so large containers never enter any
+// procedure's minimum repository.
+func (e *Engine) select_(ctx context.Context, t core.Handle, depth int) (core.Handle, error) {
+	def, err := core.ThunkDefinition(t)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if err := e.ensureLocal(ctx, def); err != nil {
+		return core.Handle{}, err
+	}
+	entries, err := e.st.Tree(def)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if len(entries) != 2 && len(entries) != 3 {
+		return core.Handle{}, fmt.Errorf("runtime: selection tree has %d entries, want 2 or 3", len(entries))
+	}
+	target, err := e.eval(ctx, entries[0], depth+1)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	idx := make([]uint64, len(entries)-1)
+	for i, ent := range entries[1:] {
+		data, err := e.st.Blob(ent)
+		if err != nil {
+			return core.Handle{}, fmt.Errorf("runtime: selection index: %w", err)
+		}
+		if idx[i], err = core.DecodeU64(data); err != nil {
+			return core.Handle{}, fmt.Errorf("runtime: selection index: %w", err)
+		}
+	}
+	if err := e.ensureLocal(ctx, target); err != nil {
+		return core.Handle{}, err
+	}
+	if target.Kind() == core.KindTree {
+		children, err := e.st.Tree(target)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		if len(idx) == 1 {
+			if idx[0] >= uint64(len(children)) {
+				return core.Handle{}, fmt.Errorf("runtime: selection index %d out of range (%d children)", idx[0], len(children))
+			}
+			return children[idx[0]], nil
+		}
+		lo, hi := idx[0], idx[1]
+		if lo > hi || hi > uint64(len(children)) {
+			return core.Handle{}, fmt.Errorf("runtime: selection range [%d,%d) out of range (%d children)", lo, hi, len(children))
+		}
+		return e.st.PutTree(children[lo:hi])
+	}
+	data, err := e.st.Blob(target)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	var lo, hi uint64
+	if len(idx) == 1 {
+		lo, hi = idx[0], idx[0]+1
+	} else {
+		lo, hi = idx[0], idx[1]
+	}
+	if lo > hi || hi > uint64(len(data)) {
+		return core.Handle{}, fmt.Errorf("runtime: selection range [%d,%d) out of range (%d bytes)", lo, hi, len(data))
+	}
+	return e.st.PutBlob(data[lo:hi]), nil
+}
+
+// apply evaluates an Application Thunk: resolve the definition Tree
+// (forcing Encodes, in parallel), assemble the minimum repository, claim
+// CPU and RAM, and run the procedure. With external I/O (the default),
+// resources are claimed only after every dependency is resident; the
+// InternalIO ablation claims them first and charges the fetch as I/O wait.
+func (e *Engine) apply(ctx context.Context, t core.Handle, depth int) (core.Handle, error) {
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	sysStart := time.Now()
+	def, err := core.ThunkDefinition(t)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if err := e.ensureLocal(ctx, def); err != nil {
+		return core.Handle{}, err
+	}
+	entries, err := e.st.Tree(def)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if len(entries) < 2 {
+		return core.Handle{}, fmt.Errorf("runtime: invocation tree has %d entries, want ≥ 2", len(entries))
+	}
+
+	resolved, err := e.resolveEntries(ctx, entries, depth)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	input, err := e.st.PutTree(resolved)
+	if err != nil {
+		return core.Handle{}, err
+	}
+
+	limits, err := e.invocationLimits(ctx, resolved[0])
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if limits.MemoryBytes > e.opts.MemoryBytes {
+		return core.Handle{}, fmt.Errorf("runtime: invocation wants %d bytes of RAM; node has %d", limits.MemoryBytes, e.opts.MemoryBytes)
+	}
+
+	// The procedure itself is part of the minimum repository.
+	proc, err := e.loadProcedure(ctx, resolved[1])
+	if err != nil {
+		return core.Handle{}, err
+	}
+
+	missing, pins, err := e.minimumRepository(input)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	for _, p := range pins {
+		e.st.Pin(p)
+	}
+	defer func() {
+		for _, p := range pins {
+			e.st.Unpin(p)
+		}
+	}()
+
+	var runDur, fetchDur time.Duration
+
+	if e.opts.InternalIO {
+		// Status quo: claim the slice first, then do I/O while it idles.
+		if err := e.res.acquire(ctx, 1, limits.MemoryBytes); err != nil {
+			return core.Handle{}, err
+		}
+		fetchStart := time.Now()
+		err = e.fetchAll(ctx, missing)
+		fetchDur = time.Since(fetchStart)
+		e.opts.Stats.AddIOWait(fetchDur)
+		if err != nil {
+			e.res.release(1, limits.MemoryBytes)
+			return core.Handle{}, err
+		}
+	} else {
+		// Externalized I/O: fetch first; bind resources late.
+		fetchStart := time.Now()
+		if err := e.fetchAll(ctx, missing); err != nil {
+			return core.Handle{}, err
+		}
+		fetchDur = time.Since(fetchStart)
+		if err := e.res.acquire(ctx, 1, limits.MemoryBytes); err != nil {
+			return core.Handle{}, err
+		}
+	}
+
+	runStart := time.Now()
+	out, err := e.runProcedure(proc, input, limits)
+	runDur = time.Since(runStart)
+	e.res.release(1, limits.MemoryBytes)
+
+	e.opts.Stats.AddUser(runDur)
+	e.opts.Stats.AddSystem(time.Since(sysStart) - runDur - fetchDur)
+	e.opts.Stats.AddTask()
+	if err != nil {
+		return core.Handle{}, fmt.Errorf("runtime: %v: %w", t, err)
+	}
+	return out, nil
+}
+
+// resolveEntries forces every Encode among the definition entries
+// (concurrently when there is more than one), leaving other entries as-is.
+func (e *Engine) resolveEntries(ctx context.Context, entries []core.Handle, depth int) ([]core.Handle, error) {
+	resolved := make([]core.Handle, len(entries))
+	copy(resolved, entries)
+	var idxs []int
+	for i, ent := range entries {
+		if ent.RefKind() == core.RefEncode {
+			idxs = append(idxs, i)
+		}
+	}
+	switch len(idxs) {
+	case 0:
+		return resolved, nil
+	case 1:
+		r, err := e.force(ctx, entries[idxs[0]], depth+1)
+		if err != nil {
+			return nil, err
+		}
+		resolved[idxs[0]] = r
+		return resolved, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(idxs))
+	for n, i := range idxs {
+		wg.Add(1)
+		go func(n, i int) {
+			defer wg.Done()
+			r, err := e.force(ctx, entries[i], depth+1)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			resolved[i] = r
+		}(n, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resolved, nil
+}
+
+func (e *Engine) invocationLimits(ctx context.Context, h core.Handle) (core.Limits, error) {
+	if h.Kind() != core.KindBlob || !h.IsData() {
+		return core.Limits{}, fmt.Errorf("runtime: invocation limits entry must be a blob, got %v", h)
+	}
+	if h.Size() == 0 {
+		return core.DefaultLimits, nil
+	}
+	if err := e.ensureLocal(ctx, h); err != nil {
+		return core.Limits{}, err
+	}
+	data, err := e.st.Blob(h)
+	if err != nil {
+		return core.Limits{}, err
+	}
+	return core.DecodeLimits(data)
+}
+
+// loadProcedure resolves an invocation's function Blob to an executable
+// Procedure: a registered native procedure or a cached, validated FixVM
+// program (the analog of the Program Registry + in-memory ELF linker).
+func (e *Engine) loadProcedure(ctx context.Context, fn core.Handle) (core.Procedure, error) {
+	if fn.Kind() != core.KindBlob || !fn.IsData() {
+		return nil, fmt.Errorf("runtime: function entry must be a blob, got %v", fn)
+	}
+	if err := e.ensureLocal(ctx, fn); err != nil {
+		return nil, err
+	}
+	blob, err := e.st.Blob(fn)
+	if err != nil {
+		return nil, err
+	}
+	if name, ok := core.NativeFunctionName(blob); ok {
+		if e.opts.Registry == nil {
+			return nil, fmt.Errorf("runtime: native procedure %q but no registry configured", name)
+		}
+		return e.opts.Registry.Lookup(name)
+	}
+	if bc, ok := core.VMBytecode(blob); ok {
+		key := fn.AsObject()
+		e.progMu.Lock()
+		prog, ok := e.progs[key]
+		e.progMu.Unlock()
+		if ok {
+			return prog, nil
+		}
+		prog, lerr := codelet.Load(bc)
+		if lerr != nil {
+			return nil, lerr
+		}
+		e.progMu.Lock()
+		e.progs[key] = prog
+		e.progMu.Unlock()
+		return prog, nil
+	}
+	return nil, fmt.Errorf("runtime: function blob has unknown format (%d bytes)", len(blob))
+}
+
+func (e *Engine) runProcedure(proc core.Procedure, input core.Handle, limits core.Limits) (core.Handle, error) {
+	api := newApplyAPI(e, input)
+	var out core.Handle
+	var err error
+	if prog, ok := proc.(*codelet.Program); ok {
+		gas := limits.Gas
+		if gas == 0 {
+			gas = e.opts.DefaultGas
+		}
+		out, err = prog.Run(api, input, gas)
+	} else {
+		out, err = proc.Apply(api, input)
+	}
+	if err != nil {
+		return core.Handle{}, err
+	}
+	if err := out.Validate(); err != nil {
+		return core.Handle{}, fmt.Errorf("runtime: procedure returned invalid handle: %w", err)
+	}
+	if !api.isGranted(out) {
+		return core.Handle{}, fmt.Errorf("runtime: procedure returned a handle outside its repository: %v", out)
+	}
+	return out, nil
+}
+
+// minimumRepository walks the accessible closure of the resolved input
+// Tree and returns the handles whose data must be resident before the
+// invocation may run (missing), plus all accessible handles to pin.
+func (e *Engine) minimumRepository(input core.Handle) (missing, pins []core.Handle, err error) {
+	seen := make(map[core.Handle]bool)
+	var walk func(h core.Handle) error
+	walk = func(h core.Handle) error {
+		h = h.AsObject()
+		if h.RefKind() != core.RefObject || h.IsLiteral() {
+			return nil
+		}
+		if seen[h] {
+			return nil
+		}
+		seen[h] = true
+		pins = append(pins, h)
+		if !e.st.Contains(h) {
+			missing = append(missing, h)
+			// A missing Tree's children cannot be walked yet; fetchAll
+			// re-walks after fetching.
+			return nil
+		}
+		if h.Kind() == core.KindTree {
+			children, err := e.st.Tree(h)
+			if err != nil {
+				return err
+			}
+			for _, c := range children {
+				if c.IsData() && c.RefKind() == core.RefObject {
+					if err := walk(c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(input); err != nil {
+		return nil, nil, err
+	}
+	return missing, pins, nil
+}
+
+// fetchAll fetches missing objects concurrently, then re-walks fetched
+// Trees for newly discovered accessible children.
+func (e *Engine) fetchAll(ctx context.Context, missing []core.Handle) error {
+	for len(missing) > 0 {
+		if err := e.fetchBatch(ctx, missing); err != nil {
+			return err
+		}
+		var next []core.Handle
+		for _, h := range missing {
+			if h.Kind() != core.KindTree {
+				continue
+			}
+			children, err := e.st.Tree(h)
+			if err != nil {
+				return err
+			}
+			for _, c := range children {
+				if c.IsData() && c.RefKind() == core.RefObject && !c.IsLiteral() && !e.st.Contains(c) {
+					next = append(next, c)
+				}
+			}
+		}
+		missing = next
+	}
+	return nil
+}
+
+func (e *Engine) fetchBatch(ctx context.Context, batch []core.Handle) error {
+	if len(batch) == 1 {
+		return e.ensureLocal(ctx, batch[0])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(batch))
+	for i, h := range batch {
+		wg.Add(1)
+		go func(i int, h core.Handle) {
+			defer wg.Done()
+			errs[i] = e.ensureLocal(ctx, h)
+		}(i, h)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ensureLocal makes a single object's data resident, fetching it if a
+// Fetcher is configured.
+func (e *Engine) ensureLocal(ctx context.Context, h core.Handle) error {
+	if !h.IsData() {
+		return nil
+	}
+	if e.st.Contains(h) {
+		return nil
+	}
+	if e.opts.Fetcher == nil {
+		return fmt.Errorf("%w: %v", ErrNotResident, h)
+	}
+	data, err := e.opts.Fetcher.Fetch(ctx, h)
+	if err != nil {
+		return fmt.Errorf("runtime: fetch %v: %w", h, err)
+	}
+	return e.st.PutObject(h, data)
+}
+
+// strictify deeply evaluates a data Handle into a fully resident Object:
+// Trees are rebuilt with every Thunk and Encode inside evaluated and every
+// Ref made accessible (the Strict Encode semantics of section 3.2).
+func (e *Engine) strictify(ctx context.Context, h core.Handle, depth int) (core.Handle, error) {
+	if depth > e.opts.MaxEvalDepth {
+		return core.Handle{}, ErrDepthExceeded
+	}
+	switch h.RefKind() {
+	case core.RefThunk:
+		r, err := e.evalThunk(ctx, h, depth)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return e.strictify(ctx, r, depth+1)
+	case core.RefEncode:
+		t, err := core.EncodedThunk(h)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		r, err := e.evalThunk(ctx, t, depth)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return e.strictify(ctx, r, depth+1)
+	}
+	if h.Kind() == core.KindBlob {
+		if err := e.ensureLocal(ctx, h); err != nil {
+			return core.Handle{}, err
+		}
+		return h.AsObject(), nil
+	}
+	k := futKey{'S', h.AsObject()}
+	f, mine := e.claimFuture(k)
+	if !mine {
+		return f.wait(ctx)
+	}
+	res, err := e.strictifyTree(ctx, h, depth)
+	e.completeFuture(k, f, res, err)
+	return res, err
+}
+
+func (e *Engine) strictifyTree(ctx context.Context, h core.Handle, depth int) (core.Handle, error) {
+	if err := e.ensureLocal(ctx, h); err != nil {
+		return core.Handle{}, err
+	}
+	entries, err := e.st.Tree(h)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	out := make([]core.Handle, len(entries))
+	copy(out, entries)
+	var deferred []int
+	for i, ent := range entries {
+		if ent.IsData() && ent.Kind() == core.KindBlob {
+			if err := e.ensureLocal(ctx, ent); err != nil {
+				return core.Handle{}, err
+			}
+			out[i] = ent.AsObject()
+			continue
+		}
+		deferred = append(deferred, i)
+	}
+	if len(deferred) == 1 {
+		i := deferred[0]
+		r, err := e.strictify(ctx, entries[i], depth+1)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		out[i] = r
+	} else if len(deferred) > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, len(deferred))
+		for n, i := range deferred {
+			wg.Add(1)
+			go func(n, i int) {
+				defer wg.Done()
+				r, err := e.strictify(ctx, entries[i], depth+1)
+				if err != nil {
+					errs[n] = err
+					return
+				}
+				out[i] = r
+			}(n, i)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return core.Handle{}, err
+		}
+	}
+	return e.st.PutTree(out)
+}

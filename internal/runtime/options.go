@@ -1,0 +1,138 @@
+// Package runtime implements Fixpoint: the multi-node runtime for programs
+// expressed in the Fix ABI (section 4 of the paper). An Engine evaluates
+// Fix objects with memoization, enforces the minimum-repository discipline
+// on running procedures, and — the paper's central mechanism — performs all
+// network I/O itself, claiming CPU and RAM for an invocation only after its
+// data dependencies are resident ("late binding"). The status-quo resource
+// model used by conventional serverless platforms is available as the
+// InternalIO ablation, which claims resources before fetching.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fixgo/internal/core"
+	"fixgo/internal/stats"
+)
+
+// Fetcher retrieves the canonical bytes of objects that are not resident
+// locally: from peer Fixpoint nodes, or from a network storage service.
+type Fetcher interface {
+	Fetch(ctx context.Context, h core.Handle) ([]byte, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(ctx context.Context, h core.Handle) ([]byte, error)
+
+// Fetch calls f.
+func (f FetcherFunc) Fetch(ctx context.Context, h core.Handle) ([]byte, error) {
+	return f(ctx, h)
+}
+
+// Delegator lets a distributed scheduler intercept the forcing of an
+// Encode and run it on a different node. Offload returns handled=false to
+// keep the job local.
+type Delegator interface {
+	Offload(ctx context.Context, encode core.Handle) (result core.Handle, handled bool, err error)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Cores is the number of CPU slots procedures compete for
+	// (default 32, matching the paper's m5.8xlarge nodes).
+	Cores int
+	// MemoryBytes is the RAM capacity for invocation reservations
+	// (default 64 GiB, matching Fig. 8a).
+	MemoryBytes uint64
+	// InternalIO enables the status-quo ablation: invocations claim CPU
+	// and RAM before their dependencies are fetched, and the CPU may be
+	// oversubscribed (Fig. 8a/8b "internal I/O").
+	InternalIO bool
+	// OversubscribeCores is the CPU slot count used when InternalIO is
+	// set (the paper oversubscribes 32 cores to 200). Zero means Cores.
+	OversubscribeCores int
+	// Fetcher supplies missing objects; nil means evaluation fails on a
+	// non-resident dependency.
+	Fetcher Fetcher
+	// Delegator, when set, may run Encode forcing on other nodes.
+	Delegator Delegator
+	// Registry resolves named native procedures. Nil means only FixVM
+	// codelets can run.
+	Registry *Registry
+	// Stats receives CPU-state accounting; nil allocates a private one.
+	Stats *stats.Collector
+	// MaxEvalDepth bounds recursive evaluation nesting, converting
+	// runaway recursion into an error instead of a hang (default 1e5).
+	MaxEvalDepth int
+	// DefaultGas is the codelet instruction budget when an invocation's
+	// Limits carry none.
+	DefaultGas uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cores <= 0 {
+		o.Cores = 32
+	}
+	if o.MemoryBytes == 0 {
+		o.MemoryBytes = 64 << 30
+	}
+	if o.OversubscribeCores <= 0 {
+		o.OversubscribeCores = o.Cores
+	}
+	if o.MaxEvalDepth <= 0 {
+		o.MaxEvalDepth = 100_000
+	}
+	if o.Stats == nil {
+		o.Stats = stats.NewCollector(o.Cores)
+	}
+	return o
+}
+
+// Registry maps native procedure names to implementations. It is the
+// trusted complement of the FixVM toolchain: entries play the role of
+// codelets produced by other trusted toolchains.
+type Registry struct {
+	mu    sync.RWMutex
+	procs map[string]core.Procedure
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{procs: make(map[string]core.Procedure)}
+}
+
+// Register installs a procedure under name, replacing any previous entry.
+func (r *Registry) Register(name string, p core.Procedure) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[name] = p
+}
+
+// RegisterFunc installs a function as a procedure.
+func (r *Registry) RegisterFunc(name string, f func(api core.API, input core.Handle) (core.Handle, error)) {
+	r.Register(name, core.ProcedureFunc(f))
+}
+
+// Lookup finds a procedure by name.
+func (r *Registry) Lookup(name string) (core.Procedure, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("runtime: no native procedure %q registered", name)
+	}
+	return p, nil
+}
+
+// Names lists registered procedure names (for diagnostics).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.procs))
+	for n := range r.procs {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"fixgo/internal/core"
+)
+
+func TestBlobPutGet(t *testing.T) {
+	s := New()
+	data := bytes.Repeat([]byte{7}, 100)
+	h := s.PutBlob(data)
+	got, err := s.Blob(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("blob mismatch")
+	}
+	if !s.Contains(h) {
+		t.Fatal("Contains should be true")
+	}
+}
+
+func TestLiteralBlobNotPersisted(t *testing.T) {
+	s := New()
+	h := s.PutBlob([]byte("tiny"))
+	if s.Len() != 0 {
+		t.Fatalf("literal should not occupy storage; len=%d", s.Len())
+	}
+	got, err := s.Blob(h)
+	if err != nil || string(got) != "tiny" {
+		t.Fatalf("literal blob fetch: %q %v", got, err)
+	}
+	if !s.Contains(h) {
+		t.Fatal("literals are always resident")
+	}
+}
+
+func TestTreePutGet(t *testing.T) {
+	s := New()
+	a := s.PutBlob([]byte("aaaa aaaa aaaa aaaa aaaa aaaa aaaa"))
+	b := core.LiteralU64(9)
+	h, err := s.PutTree([]core.Handle{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Tree(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0] != a || entries[1] != b {
+		t.Fatal("tree mismatch")
+	}
+}
+
+func TestRefAndThunkHandlesResolveToSameObject(t *testing.T) {
+	s := New()
+	a := s.PutBlob([]byte("payload that is long enough to hash"))
+	tr, _ := s.PutTree([]core.Handle{a})
+	th, _ := core.Application(tr)
+	enc, _ := core.Strict(th)
+	for _, h := range []core.Handle{tr, tr.AsRef(), th, enc} {
+		entries, err := s.Tree(h)
+		if err != nil {
+			t.Fatalf("Tree(%v): %v", h, err)
+		}
+		if len(entries) != 1 || entries[0] != a {
+			t.Fatal("entries mismatch")
+		}
+	}
+}
+
+func TestMissingObject(t *testing.T) {
+	s := New()
+	h := core.BlobHandle(bytes.Repeat([]byte{1}, 50))
+	_, err := s.Blob(h)
+	if !IsNotFound(err) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if s.Contains(h) {
+		t.Fatal("Contains should be false")
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	s := New()
+	b := s.PutBlob(bytes.Repeat([]byte{2}, 40))
+	if _, err := s.Tree(b); err == nil {
+		t.Fatal("Tree of a blob handle should fail")
+	}
+	tr, _ := s.PutTree(nil)
+	if _, err := s.Blob(tr); err == nil {
+		t.Fatal("Blob of a tree handle should fail")
+	}
+}
+
+func TestPutObjectValidates(t *testing.T) {
+	s := New()
+	data := bytes.Repeat([]byte{3}, 64)
+	h := core.BlobHandle(data)
+	if err := s.PutObject(h, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutObject(h, data[:63]); err == nil {
+		t.Fatal("mismatched bytes should be rejected")
+	}
+	// Tree ingestion.
+	entries := []core.Handle{h, core.LiteralU64(1)}
+	th := core.TreeHandle(entries)
+	if err := s.PutObject(th, core.EncodeTree(entries)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Tree(th)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("tree after ingest: %v %v", got, err)
+	}
+	if err := s.PutObject(th, core.EncodeTree(entries[:1])); err == nil {
+		t.Fatal("mismatched tree should be rejected")
+	}
+}
+
+func TestObjectBytesRoundTrip(t *testing.T) {
+	s := New()
+	data := bytes.Repeat([]byte{9}, 77)
+	h := s.PutBlob(data)
+	raw, err := s.ObjectBytes(h)
+	if err != nil || !bytes.Equal(raw, data) {
+		t.Fatal("blob object bytes mismatch")
+	}
+	tr, _ := s.PutTree([]core.Handle{h})
+	raw, err = s.ObjectBytes(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.PutObject(tr, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	s := New()
+	tr, _ := s.PutTree([]core.Handle{core.LiteralU64(5)})
+	th, _ := core.Application(tr)
+	enc, _ := core.Strict(th)
+	res := core.LiteralU64(10)
+
+	if _, ok := s.ThunkResult(th); ok {
+		t.Fatal("unexpected memo hit")
+	}
+	s.SetThunkResult(th, res)
+	if r, ok := s.ThunkResult(th); !ok || r != res {
+		t.Fatal("thunk memo miss")
+	}
+	s.SetEncodeResult(enc, res)
+	if r, ok := s.EncodeResult(enc); !ok || r != res {
+		t.Fatal("encode memo miss")
+	}
+	// Shallow encode is a distinct memo key.
+	sh, _ := core.Shallow(th)
+	if _, ok := s.EncodeResult(sh); ok {
+		t.Fatal("shallow should not hit strict's memo entry")
+	}
+}
+
+func TestEvictAndPin(t *testing.T) {
+	s := New()
+	data := bytes.Repeat([]byte{4}, 128)
+	h := s.PutBlob(data)
+	s.Pin(h)
+	if s.Evict(h) {
+		t.Fatal("pinned object must not be evicted")
+	}
+	s.Unpin(h)
+	if !s.Evict(h) {
+		t.Fatal("unpinned object should be evictable")
+	}
+	if s.Contains(h) {
+		t.Fatal("object still resident after eviction")
+	}
+	if s.TotalBytes() != 0 {
+		t.Fatalf("TotalBytes = %d after eviction", s.TotalBytes())
+	}
+	// Re-put recomputes identically (content addressing).
+	if got := s.PutBlob(data); got != h {
+		t.Fatal("recomputed handle differs")
+	}
+}
+
+func TestPinNesting(t *testing.T) {
+	s := New()
+	h := s.PutBlob(bytes.Repeat([]byte{5}, 99))
+	s.Pin(h)
+	s.Pin(h)
+	s.Unpin(h)
+	if s.Evict(h) {
+		t.Fatal("still pinned once")
+	}
+	s.Unpin(h)
+	if !s.Evict(h) {
+		t.Fatal("fully unpinned should evict")
+	}
+}
+
+func TestTotalBytesAccounting(t *testing.T) {
+	s := New()
+	s.PutBlob(bytes.Repeat([]byte{1}, 100))
+	s.PutBlob(bytes.Repeat([]byte{1}, 100)) // duplicate: no growth
+	if s.TotalBytes() != 100 {
+		t.Fatalf("TotalBytes = %d, want 100", s.TotalBytes())
+	}
+	s.PutTree([]core.Handle{core.LiteralU64(1), core.LiteralU64(2)})
+	if s.TotalBytes() != 100+2*core.HandleSize {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := New()
+	s.PutBlob(bytes.Repeat([]byte{1}, 40))
+	s.PutTree([]core.Handle{core.LiteralU64(1)})
+	n := 0
+	s.ForEach(func(h core.Handle, size uint64) { n++ })
+	if n != 2 {
+		t.Fatalf("ForEach visited %d, want 2", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				data := []byte(fmt.Sprintf("worker %d item %d — padding padding padding", i, j))
+				h := s.PutBlob(data)
+				if got, err := s.Blob(h); err != nil || !bytes.Equal(got, data) {
+					t.Errorf("concurrent get: %v", err)
+					return
+				}
+				tr, err := s.PutTree([]core.Handle{h})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Pin(tr)
+				s.Unpin(tr)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Property: put/get round-trips for arbitrary blobs.
+func TestPutGetProperty(t *testing.T) {
+	s := New()
+	f := func(data []byte) bool {
+		h := s.PutBlob(data)
+		got, err := s.Blob(h)
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 && len(got) == 0 {
+			return true
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

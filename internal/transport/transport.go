@@ -1,0 +1,194 @@
+// Package transport provides message-oriented links between Fixpoint
+// nodes, clients, storage services, and baseline systems.
+//
+// Two implementations share one interface: an in-memory pipe with
+// configurable one-way latency and bandwidth (the simulated cluster fabric
+// used by the benchmark harness — see DESIGN.md substitution #3), and a
+// TCP transport with length-prefixed frames for real deployments
+// (cmd/fixpoint, cmd/fixctl).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed Conn.
+var ErrClosed = errors.New("transport: connection closed")
+
+// MaxFrame bounds a single message (256 MiB).
+const MaxFrame = 256 << 20
+
+// Conn is a bidirectional, ordered, reliable message link.
+type Conn interface {
+	// Send transmits one message. It does not block for network time on
+	// simulated links (the delay is applied at the receiver).
+	Send(msg []byte) error
+	// Recv delivers the next message, blocking until one arrives or the
+	// link closes (io.EOF).
+	Recv() ([]byte, error)
+	// Close shuts the link down in both directions.
+	Close() error
+}
+
+// LinkConfig describes a simulated link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the link rate in bytes/second; zero means infinite.
+	Bandwidth float64
+}
+
+// delay computes the transfer time of n bytes at the link rate.
+func (c LinkConfig) delay(n int) time.Duration {
+	if c.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / c.Bandwidth * float64(time.Second))
+}
+
+type timedMsg struct {
+	data    []byte
+	arrival time.Time
+}
+
+// memConn is one endpoint of an in-memory simulated link.
+type memConn struct {
+	cfg  LinkConfig
+	out  chan timedMsg
+	in   chan timedMsg
+	done chan struct{}
+
+	mu         sync.Mutex
+	lastTxDone time.Time
+	closeOnce  *sync.Once
+}
+
+// Pipe creates a connected pair of simulated link endpoints. Messages sent
+// on one endpoint arrive at the other after the link's latency plus
+// serialization time at the link bandwidth; transmissions in the same
+// direction are serialized (a long transfer delays the messages behind
+// it), which is what makes data locality matter in the simulated cluster.
+func Pipe(cfg LinkConfig) (Conn, Conn) {
+	ab := make(chan timedMsg, 16384)
+	ba := make(chan timedMsg, 16384)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &memConn{cfg: cfg, out: ab, in: ba, done: done, closeOnce: once}
+	b := &memConn{cfg: cfg, out: ba, in: ab, done: done, closeOnce: once}
+	return a, b
+}
+
+func (c *memConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds max %d", len(msg), MaxFrame)
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	now := time.Now()
+	c.mu.Lock()
+	txStart := c.lastTxDone
+	if now.After(txStart) {
+		txStart = now
+	}
+	txDone := txStart.Add(c.cfg.delay(len(msg)))
+	c.lastTxDone = txDone
+	c.mu.Unlock()
+
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case c.out <- timedMsg{data: cp, arrival: txDone.Add(c.cfg.Latency)}:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	var m timedMsg
+	select {
+	case m = <-c.in:
+	case <-c.done:
+		// Drain any messages already queued before the close.
+		select {
+		case m = <-c.in:
+		default:
+			return nil, io.EOF
+		}
+	}
+	if wait := time.Until(m.arrival); wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		<-timer.C
+	}
+	return m.data, nil
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return nil
+}
+
+// tcpConn frames messages over a net.Conn with 4-byte little-endian
+// length prefixes.
+type tcpConn struct {
+	c    net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+	rbuf [4]byte
+}
+
+// NewTCP wraps an established net.Conn as a message link.
+func NewTCP(c net.Conn) Conn { return &tcpConn{c: c} }
+
+// Dial connects to a TCP listener and wraps the connection.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCP(c), nil
+}
+
+func (t *tcpConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds max %d", len(msg), MaxFrame)
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(msg)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	if _, err := io.ReadFull(t.c, t.rbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(t.rbuf[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.c, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(LinkConfig{})
+	defer a.Close()
+	want := []byte("hello fixpoint")
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+	// And the reverse direction.
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil || string(got) != "pong" {
+		t.Fatalf("reverse: %q %v", got, err)
+	}
+}
+
+func TestPipeOrdering(t *testing.T) {
+	a, b := Pipe(LinkConfig{})
+	defer a.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := b.Recv()
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("msg %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	a, b := Pipe(LinkConfig{Latency: 30 * time.Millisecond})
+	defer a.Close()
+	start := time.Now()
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("message arrived after %v, want ≥ ~30ms", d)
+	}
+}
+
+func TestPipeBandwidthSerializes(t *testing.T) {
+	// 1 MB/s link: two 50 KB messages take ≥ ~100ms to fully arrive.
+	a, b := Pipe(LinkConfig{Bandwidth: 1 << 20})
+	defer a.Close()
+	msg := make([]byte, 50<<10)
+	start := time.Now()
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("two 50KB messages at 1MB/s arrived in %v, want ≥ ~95ms", d)
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b := Pipe(LinkConfig{})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("Recv after close = %v, want EOF", err)
+	}
+}
+
+func TestPipeCloseDrainsQueued(t *testing.T) {
+	a, b := Pipe(LinkConfig{})
+	if err := a.Send([]byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := b.Recv()
+	if err != nil || string(got) != "queued" {
+		t.Fatalf("queued message lost: %q %v", got, err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
+}
+
+func TestPipeOversizedFrame(t *testing.T) {
+	a, _ := Pipe(LinkConfig{})
+	defer a.Close()
+	if err := a.Send(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame should be rejected")
+	}
+}
+
+func TestPipeConcurrent(t *testing.T) {
+	a, b := Pipe(LinkConfig{})
+	defer a.Close()
+	var wg sync.WaitGroup
+	const n = 200
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send([]byte{1}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	got := 0
+	for i := 0; i < n; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	wg.Wait()
+	if got != n {
+		t.Fatalf("received %d of %d", got, n)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		conn := NewTCP(c)
+		msg, err := conn.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- conn.Send(append([]byte("echo:"), msg...))
+	}()
+	conn, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Recv()
+	if err != nil || string(got) != "echo:hi" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte{7}, 1<<20)
+	go func() {
+		c, _ := l.Accept()
+		conn := NewTCP(c)
+		msg, _ := conn.Recv()
+		conn.Send(msg)
+	}()
+	conn, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Recv()
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("1MB round trip failed: %d bytes, %v", len(got), err)
+	}
+}

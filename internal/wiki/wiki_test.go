@@ -1,0 +1,90 @@
+package wiki
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fixgo/internal/core"
+	"fixgo/internal/runtime"
+	"fixgo/internal/store"
+)
+
+func TestChunkDeterministic(t *testing.T) {
+	a := Chunk(7, 4096, "fix", 512)
+	b := Chunk(7, 4096, "fix", 512)
+	if !bytes.Equal(a, b) {
+		t.Fatal("chunks not deterministic")
+	}
+	c := Chunk(8, 4096, "fix", 512)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+	if len(a) != 4096 {
+		t.Fatalf("len = %d", len(a))
+	}
+}
+
+func TestCountNonOverlapping(t *testing.T) {
+	cases := []struct {
+		data, needle string
+		want         uint64
+	}{
+		{"aaaa", "aa", 2},
+		{"abcabcabc", "abc", 3},
+		{"", "x", 0},
+		{"xyz", "", 0},
+		{"hello", "world", 0},
+	}
+	for _, c := range cases {
+		if got := CountNonOverlapping([]byte(c.data), []byte(c.needle)); got != c.want {
+			t.Errorf("count(%q,%q) = %d, want %d", c.data, c.needle, got, c.want)
+		}
+	}
+}
+
+func TestChunkPlantsNeedle(t *testing.T) {
+	data := Chunk(3, 8192, "zzq", 1024)
+	n := CountNonOverlapping(data, []byte("zzq"))
+	if n < 6 || n > 10 {
+		t.Fatalf("planted count = %d, want ≈ 8", n)
+	}
+}
+
+func TestMapReduceJobEndToEnd(t *testing.T) {
+	reg := runtime.NewRegistry()
+	Register(reg, Config{})
+	st := store.New()
+	e := runtime.New(st, runtime.Options{Cores: 4, Registry: reg})
+
+	const needle = "qqz"
+	var want uint64
+	var chunks []core.Handle
+	for i := 0; i < 7; i++ {
+		data := Chunk(int64(i), 8192, needle, 700)
+		want += CountNonOverlapping(data, []byte(needle))
+		chunks = append(chunks, st.PutBlob(data))
+	}
+	job, err := BuildJob(st, needle, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.EvalBlob(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := core.DecodeU64(out)
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	// 7 count tasks + 6 merges.
+	if n := e.Stats().Usage(0).Tasks; n != 13 {
+		t.Fatalf("tasks = %d, want 13", n)
+	}
+}
+
+func TestBuildJobEmpty(t *testing.T) {
+	if _, err := BuildJob(store.New(), "x", nil); err == nil {
+		t.Fatal("expected error for zero chunks")
+	}
+}
