@@ -1,0 +1,126 @@
+// Command fixgate is the Fixpoint serving gateway: a multi-tenant
+// HTTP/JSON frontend with a memoization-aware result cache, single-flight
+// collapsing of identical submissions, and admission control.
+//
+// Usage:
+//
+//	fixgate -listen :7670                          # in-process engine
+//	fixgate -listen :7670 -peers host-a:7600,host-b:7600
+//	fixgate -listen :7670 -cluster-listen :7601    # workers dial in
+//
+// With -peers (or -cluster-listen) the gateway fronts a cluster of
+// cmd/fixpoint workers as a client-only node: uploads are advertised to
+// the cluster and each cache-missing job is placed by the node's
+// dataflow-aware scheduler. Without either, jobs run on an in-process
+// engine.
+//
+// Endpoints: POST /v1/blobs, GET /v1/blobs/{handle}, POST /v1/trees,
+// POST /v1/jobs, GET /v1/stats, GET /metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"fixgo/internal/bptree"
+	"fixgo/internal/buildsys"
+	"fixgo/internal/cluster"
+	"fixgo/internal/flatware"
+	"fixgo/internal/gateway"
+	"fixgo/internal/runtime"
+	"fixgo/internal/store"
+	"fixgo/internal/transport"
+	"fixgo/internal/wiki"
+)
+
+func main() {
+	listen := flag.String("listen", ":7670", "HTTP listen address")
+	peers := flag.String("peers", "", "comma-separated fixpoint worker addresses to dial")
+	clusterListen := flag.String("cluster-listen", "", "optional transport listen address for inbound workers")
+	id := flag.String("id", "fixgate", "gateway's cluster node identifier")
+	cores := flag.Int("cores", 8, "CPU slots (in-process engine mode)")
+	memGiB := flag.Uint64("mem-gib", 16, "RAM capacity in GiB (in-process engine mode)")
+	cacheEntries := flag.Int("cache", 4096, "result cache entries (0 disables caching and collapsing)")
+	maxInFlight := flag.Int("max-inflight", 64, "concurrent backend evaluations")
+	maxQueue := flag.Int("max-queue", 256, "queued submissions before load-shedding with 429")
+	flag.Parse()
+
+	reg := runtime.NewRegistry()
+	wiki.Register(reg, wiki.Config{})
+	buildsys.Register(reg, buildsys.Config{})
+	bptree.Register(reg)
+	flatware.RegisterGetFile(reg)
+	flatware.RegisterSeBS(reg)
+
+	var backend gateway.Backend
+	clustered := *peers != "" || *clusterListen != ""
+	if clustered {
+		node := cluster.NewNode(*id, cluster.NodeOptions{
+			Cores:      1,
+			ClientOnly: true,
+			Registry:   reg,
+		})
+		for _, addr := range strings.Split(*peers, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			conn, err := transport.Dial(addr)
+			if err != nil {
+				fatal(fmt.Errorf("dial worker %s: %w", addr, err))
+			}
+			node.AttachPeer(conn)
+			fmt.Printf("fixgate: connected to worker %s\n", addr)
+		}
+		if *clusterListen != "" {
+			l, err := transport.Listen(*clusterListen)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fixgate: accepting workers on %s\n", l.Addr())
+			go func() {
+				if err := transport.Serve(l, node.AttachPeer); err != nil {
+					log.Printf("fixgate: worker accept loop: %v", err)
+				}
+			}()
+		}
+		backend = node
+	} else {
+		eng := runtime.New(store.New(), runtime.Options{
+			Cores:       *cores,
+			MemoryBytes: *memGiB << 30,
+			Registry:    reg,
+		})
+		backend = gateway.NewEngineBackend(eng)
+	}
+
+	srv, err := gateway.NewServer(gateway.Options{
+		Backend:      backend,
+		CacheEntries: *cacheEntries,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "in-process engine"
+	if clustered {
+		mode = "cluster client"
+	}
+	fmt.Printf("fixgate: serving on %s (%s, cache=%d, inflight=%d, queue=%d)\n",
+		*listen, mode, *cacheEntries, *maxInFlight, *maxQueue)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fixgate:", err)
+	os.Exit(1)
+}

@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"strings"
 
@@ -68,18 +67,13 @@ func main() {
 		fmt.Printf("fixpoint: connected to peer %s\n", addr)
 	}
 
-	l, err := net.Listen("tcp", *listen)
+	l, err := transport.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fixpoint:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("fixpoint: node %s listening on %s (%d cores, %d GiB)\n", *id, *listen, *cores, *memGiB)
-	for {
-		c, err := l.Accept()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fixpoint: accept:", err)
-			return
-		}
-		node.AttachPeer(transport.NewTCP(c))
+	fmt.Printf("fixpoint: node %s listening on %s (%d cores, %d GiB)\n", *id, l.Addr(), *cores, *memGiB)
+	if err := transport.Serve(l, node.AttachPeer); err != nil {
+		fmt.Fprintln(os.Stderr, "fixpoint: accept:", err)
 	}
 }

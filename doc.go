@@ -10,6 +10,8 @@
 //   - internal/codelet   — FixVM, the sandboxed deterministic codelet VM
 //   - internal/runtime   — the Fixpoint engine (late-binding evaluator)
 //   - internal/cluster   — the distributed engine and dataflow-aware scheduler
+//   - internal/gateway   — the HTTP serving frontend (cmd/fixgate): result
+//     cache with single-flight collapsing, admission control, client SDK
 //   - internal/transport, internal/proto, internal/objstore — networking
 //   - internal/baselines — OpenWhisk/Ray/Pheromone/Faasm re-implementations
 //   - internal/flatware, internal/bptree, internal/wiki, internal/buildsys —

@@ -1,0 +1,3 @@
+module fixgo
+
+go 1.24

@@ -66,6 +66,16 @@ type Scale struct {
 	HeaderSize  int           // shared headers
 	CompileTime time.Duration // modeled libclang invocation
 	LinkTime    time.Duration // modeled liblld invocation
+
+	// Gateway serving experiment (internal/gateway, cmd/fixgate).
+	GateWorkers     int           // cluster workers behind the edge
+	GateClients     int           // closed-loop client goroutines
+	GateRequests    int           // requests per client
+	GateDupRatios   []float64     // duplicate-submission ratios to sweep
+	GateServiceTime time.Duration // modeled per-job compute on a worker
+	GateLinkLatency time.Duration // edge ↔ worker propagation delay
+	GateMaxInFlight int           // gateway admission slots
+	GateCache       int           // result-cache entries
 }
 
 // DefaultScale is the quick configuration used by `go test -bench` and
@@ -109,6 +119,15 @@ func DefaultScale() Scale {
 		HeaderSize:  32 << 10,
 		CompileTime: 15 * time.Millisecond,
 		LinkTime:    60 * time.Millisecond,
+
+		GateWorkers:     4,
+		GateClients:     16,
+		GateRequests:    25,
+		GateDupRatios:   []float64{0, 0.5, 0.9},
+		GateServiceTime: 5 * time.Millisecond,
+		GateLinkLatency: 500 * time.Microsecond,
+		GateMaxInFlight: 4,
+		GateCache:       4096,
 	}
 }
 
@@ -127,6 +146,8 @@ func PaperScale() Scale {
 	s.BTreeArities = []int{4, 16, 64, 256, 4096, 65536}
 	s.BTreeQueries = 50
 	s.SourceFiles = 1000
+	s.GateClients = 64
+	s.GateRequests = 50
 	return s
 }
 
@@ -149,6 +170,7 @@ var Experiments = []struct {
 	{"fig8b", Fig8b},
 	{"fig9", Fig9},
 	{"fig10", Fig10},
+	{"gateway", FigGate},
 }
 
 // Run executes one experiment by id.

@@ -65,13 +65,14 @@ func Fig7a(s Scale) (Result, error) {
 		return res, err
 	}
 
-	// --- static call.
+	// --- static call. perCall rounds up: a sub-nanosecond call must not
+	// truncate to "no measurement" on fast hardware.
 	staticN := n * 4096
 	start := time.Now()
 	for i := 0; i < staticN; i++ {
 		sink = addStatic(uint8(i), uint8(i>>8))
 	}
-	staticPer := time.Since(start) / time.Duration(staticN)
+	staticPer := perCall(time.Since(start), staticN)
 
 	// --- virtual (interface) call.
 	var a adder = concreteAdder{}
@@ -79,7 +80,7 @@ func Fig7a(s Scale) (Result, error) {
 	for i := 0; i < staticN; i++ {
 		sink = a.Add(uint8(i), sink)
 	}
-	virtualPer := time.Since(start) / time.Duration(staticN)
+	virtualPer := perCall(time.Since(start), staticN)
 
 	// --- Linux process (vfork+exec analog: re-exec this binary).
 	procPer, procNote, err := fig7aProcess(min(n, 64))
@@ -269,6 +270,15 @@ func fig7aWhisk(n int) (time.Duration, error) {
 		}
 	}
 	return time.Since(start) / time.Duration(n), nil
+}
+
+// perCall divides a total by an iteration count, rounding up to 1ns.
+func perCall(total time.Duration, n int) time.Duration {
+	per := total / time.Duration(n)
+	if per <= 0 {
+		per = 1
+	}
+	return per
 }
 
 func min(a, b int) int {

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/cluster"
+	"fixgo/internal/core"
+	"fixgo/internal/gateway"
+	"fixgo/internal/runtime"
+	"fixgo/internal/transport"
+)
+
+// FigGate is the gateway serving experiment (this reproduction's own, not
+// a paper figure): closed-loop clients submit jobs over HTTP to a fixgate
+// edge fronting a simulated worker cluster, at varying duplicate-request
+// ratios. Because Fix names computations content-addressed, duplicate
+// submissions are *identical* handles, and the gateway's result cache
+// answers them at the edge — no admission slot, no engine walk, no
+// cluster. The no-cache configuration queues every submission behind the
+// in-flight cold work, so under load its duplicate requests pay
+// milliseconds of admission wait for a memoized answer. Reported per
+// configuration: mean request latency (the table value), throughput, and
+// p50/p99, plus the cache's hit/collapse counters.
+func FigGate(s Scale) (Result, error) {
+	res := Result{ID: "gateway", Title: "gateway serving: result cache and request collapsing"}
+	if len(s.GateDupRatios) == 0 {
+		s.GateDupRatios = []float64{0, 0.5, 0.9}
+	}
+	for _, cached := range []bool{true, false} {
+		for _, d := range s.GateDupRatios {
+			row, note, err := gateConfig(s, cached, d)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, row)
+			res.Notes = append(res.Notes, note)
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d closed-loop clients × %d requests, %d workers, %v service time, %v links, %d admission slots",
+			s.GateClients, s.GateRequests, s.GateWorkers, s.GateServiceTime, s.GateLinkLatency, s.GateMaxInFlight))
+	return res, nil
+}
+
+// gateConfig runs one (cache, duplicate-ratio) cell on a fresh cluster.
+func gateConfig(s Scale, cached bool, dupRatio float64) (Row, string, error) {
+	// Workers execute "gwork": a modeled service-time sleep.
+	reg := runtime.NewRegistry()
+	reg.RegisterFunc("gwork", func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		b, err := api.AttachBlob(entries[2])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		time.Sleep(s.GateServiceTime)
+		v, _ := core.DecodeU64(b)
+		return api.CreateBlob(core.LiteralU64(v * 2).LiteralData()), nil
+	})
+
+	edge := cluster.NewNode("edge", cluster.NodeOptions{Cores: 1, ClientOnly: true})
+	defer edge.Close()
+	workers := make([]*cluster.Node, s.GateWorkers)
+	for i := range workers {
+		workers[i] = cluster.NewNode(fmt.Sprintf("w%d", i), cluster.NodeOptions{
+			Cores:    4,
+			Registry: reg,
+		})
+		defer workers[i].Close()
+		cluster.Connect(edge, workers[i], transport.LinkConfig{Latency: s.GateLinkLatency})
+	}
+	cluster.FullMesh(transport.LinkConfig{Latency: s.GateLinkLatency}, workers...)
+
+	cacheEntries := 0
+	if cached {
+		cacheEntries = s.GateCache
+	}
+	srv, err := gateway.NewServer(gateway.Options{
+		Backend:      edge,
+		CacheEntries: cacheEntries,
+		MaxInFlight:  s.GateMaxInFlight,
+		MaxQueue:     s.GateClients * s.GateRequests, // never shed in-bench
+	})
+	if err != nil {
+		return Row{}, "", err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Row{}, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(l) }()
+	defer hs.Close()
+
+	ctx := context.Background()
+	c := gateway.NewClient("http://" + l.Addr().String())
+	fn, err := c.PutBlob(ctx, core.NativeFunctionBlob("gwork"))
+	if err != nil {
+		return Row{}, "", err
+	}
+	lim := core.DefaultLimits.Handle()
+	buildJob := func(arg uint64) (core.Handle, error) {
+		tree, err := c.PutTree(ctx, core.InvocationTree(lim, fn, core.LiteralU64(arg)))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return core.Application(tree)
+	}
+	// The "hot" job every duplicate submission targets.
+	hot, err := buildJob(1)
+	if err != nil {
+		return Row{}, "", err
+	}
+
+	var coldID atomic.Uint64
+	coldID.Store(1) // arg 1 is the hot job
+	total := s.GateClients * s.GateRequests
+	latencies := make([]time.Duration, total)
+	var failed atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < s.GateClients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(ci) + 1))
+			for ri := 0; ri < s.GateRequests; ri++ {
+				job := hot
+				if rng.Float64() >= dupRatio {
+					j, err := buildJob(coldID.Add(1))
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					job = j
+				}
+				t0 := time.Now()
+				if _, err := c.Submit(ctx, job); err != nil {
+					failed.Add(1)
+					continue
+				}
+				latencies[ci*s.GateRequests+ri] = time.Since(t0)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return Row{}, "", fmt.Errorf("bench: gateway config (cache=%v d=%.0f%%): %d requests failed", cached, 100*dupRatio, n)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[total/2]
+	p99 := latencies[total*99/100]
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	mean := sum / time.Duration(total)
+	thr := float64(total) / wall.Seconds()
+
+	name := "no cache"
+	if cached {
+		name = "result cache"
+	}
+	st := srv.Stats()
+	row := Row{
+		System:   fmt.Sprintf("Fixgate %s, %.0f%% duplicates", name, 100*dupRatio),
+		Measured: mean,
+		Detail:   fmt.Sprintf("%.0f req/s p50=%s p99=%s wall=%s", thr, fmtDur(p50), fmtDur(p99), fmtDur(wall)),
+	}
+	note := fmt.Sprintf("%s d=%.0f%%: %d hits, %d collapsed, %d misses, %d queued",
+		name, 100*dupRatio, st.Cache.Hits, st.Cache.Collapsed, st.Cache.Misses, st.Admission.Queued)
+	return row, note, nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigGate checks the experiment's acceptance property: at a high
+// duplicate ratio the cached gateway must beat the no-cache configuration
+// on total wall time, and the cache counters must show real collapsing.
+func TestFigGate(t *testing.T) {
+	s := tinyScale()
+	s.GateWorkers = 2
+	s.GateClients = 8
+	s.GateRequests = 10
+	s.GateDupRatios = []float64{0, 0.9}
+	// A long service time keeps the admission slots saturated with cold
+	// work, so the no-cache config's duplicate requests pay a multi-ms
+	// slot wait that dwarfs timing noise (the race detector inflates the
+	// cached hot path to ~1-3ms; the margin must survive that).
+	s.GateServiceTime = 10 * time.Millisecond
+	s.GateMaxInFlight = 2
+
+	res, err := FigGate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (cache/no-cache × 2 ratios)", len(res.Rows))
+	}
+	byName := map[string]time.Duration{}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s: no measurement", r.System)
+		}
+		byName[r.System] = r.Measured
+	}
+	cachedHot := byName["Fixgate result cache, 90% duplicates"]
+	plainHot := byName["Fixgate no cache, 90% duplicates"]
+	if cachedHot == 0 || plainHot == 0 {
+		t.Fatalf("rows missing: %v", byName)
+	}
+	// Duplicate submissions answered at the edge must not queue behind
+	// in-flight cold work: mean latency beats the no-cache config.
+	if cachedHot >= plainHot {
+		t.Errorf("90%% duplicates: cached mean latency %v should beat no-cache %v", cachedHot, plainHot)
+	}
+	// The cached 90%-duplicates run must have actually collapsed or hit.
+	sawHits := false
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "result cache d=90%") && !strings.Contains(n, " 0 hits, 0 collapsed") {
+			sawHits = true
+		}
+	}
+	if !sawHits {
+		t.Errorf("no cache hits/collapses recorded at 90%% duplicates: %v", res.Notes)
+	}
+	t.Log("\n" + res.String())
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JSONResult is the machine-readable form of a Result, written as
+// BENCH_<id>.json so the performance trajectory of every figure can be
+// tracked across commits.
+type JSONResult struct {
+	ID    string    `json:"id"`
+	Title string    `json:"title"`
+	Rows  []JSONRow `json:"rows"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+// JSONRow is one system's measurement in nanoseconds.
+type JSONRow struct {
+	System     string `json:"system"`
+	MeasuredNS int64  `json:"measured_ns"`
+	PaperNS    int64  `json:"paper_ns,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// JSON renders the result for machines.
+func (r Result) JSON() JSONResult {
+	out := JSONResult{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, JSONRow{
+			System:     row.System,
+			MeasuredNS: row.Measured.Nanoseconds(),
+			PaperNS:    row.Paper.Nanoseconds(),
+			Detail:     row.Detail,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the result to dir/BENCH_<id>.json and returns the
+// path.
+func (r Result) WriteJSON(dir string) (string, error) {
+	data, err := json.MarshalIndent(r.JSON(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.ID))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/proto"
+	"fixgo/internal/transport"
+)
+
+// countingFetcher is an ExtraFetcher that counts calls and serves one blob
+// after a delay long enough for every concurrent Fetch to pile up on the
+// in-flight wait.
+type countingFetcher struct {
+	calls atomic.Int64
+	h     core.Handle
+	data  []byte
+	delay time.Duration
+}
+
+func (f *countingFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, error) {
+	f.calls.Add(1)
+	time.Sleep(f.delay)
+	if h.SameContent(f.h) {
+		return f.data, nil
+	}
+	return nil, &fetchMissErr{}
+}
+
+type fetchMissErr struct{}
+
+func (*fetchMissErr) Error() string { return "counting fetcher: no such object" }
+
+// TestFetchSingleFlight drives N concurrent clusterFetcher.Fetch calls for
+// one handle against a scripted peer that always answers Missing. Exactly
+// one peer request and one ExtraFetcher fallback may occur: the other N−1
+// callers must join the in-flight wait (fetchW in fetcher.go).
+func TestFetchSingleFlight(t *testing.T) {
+	data := bytes.Repeat([]byte{0xA5}, 1024)
+	h := core.BlobHandle(data)
+
+	extra := &countingFetcher{h: h, data: data, delay: 50 * time.Millisecond}
+	n := NewNode("n", NodeOptions{Cores: 1, ExtraFetcher: extra})
+	defer n.Close()
+
+	// A scripted peer: replies to the Hello, advertises ownership of h so
+	// the fetcher asks it first, then answers every Request with Missing,
+	// counting the requests it sees.
+	ours, theirs := transport.Pipe(transport.LinkConfig{})
+	n.AttachPeer(ours)
+	var peerRequests atomic.Int64
+	go func() {
+		hello := &proto.Message{Type: proto.TypeHello, From: "scripted", Role: proto.RoleWorker, Adverts: []core.Handle{h}}
+		_ = theirs.Send(hello.Encode())
+		for {
+			raw, err := theirs.Recv()
+			if err != nil {
+				return
+			}
+			m, err := proto.Decode(raw)
+			if err != nil || m.Type != proto.TypeRequest {
+				continue
+			}
+			peerRequests.Add(1)
+			reply := &proto.Message{Type: proto.TypeMissing, From: "scripted", Handle: m.Handle}
+			_ = theirs.Send(reply.Encode())
+		}
+	}()
+	waitPeer(n, "scripted")
+
+	const N = 32
+	f := &clusterFetcher{n: n}
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	outs := make([][]byte, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = f.Fetch(context.Background(), h)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("fetch %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i], data) {
+			t.Fatalf("fetch %d: wrong bytes (%d, want %d)", i, len(outs[i]), len(data))
+		}
+	}
+	if got := peerRequests.Load(); got != 1 {
+		t.Errorf("peer requests = %d, want exactly 1 (single-flight)", got)
+	}
+	if got := extra.calls.Load(); got != 1 {
+		t.Errorf("extra fetcher calls = %d, want exactly 1 (single-flight)", got)
+	}
+	if !n.Store().Contains(h) {
+		t.Error("fetched object not resident after fetch")
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"context"
+
+	"fixgo/internal/core"
+	"fixgo/internal/proto"
+)
+
+// This file is the node's programmatic ingestion surface: the hooks a
+// serving frontend (internal/gateway) uses to upload objects and read
+// results without going through the fixctl wire path. Uploads advertise
+// incrementally — one handle per message — instead of re-broadcasting the
+// whole inventory the way AdvertiseAll does, so a gateway pushing many
+// small objects does not quadratically re-announce its store.
+
+// PutBlob stores a Blob on this node and advertises it to all peers.
+// Literal Blobs live entirely in their Handle and need no advertisement.
+func (n *Node) PutBlob(data []byte) core.Handle {
+	h := n.st.PutBlob(data)
+	if !h.IsLiteral() {
+		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
+	}
+	return h
+}
+
+// PutTree stores a Tree on this node and advertises it to all peers.
+func (n *Node) PutTree(entries []core.Handle) (core.Handle, error) {
+	h, err := n.st.PutTree(entries)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
+	return h, nil
+}
+
+// ObjectBytes returns the packed bytes of an object, fetching it from
+// peers (or the ExtraFetcher) when it is not locally resident.
+func (n *Node) ObjectBytes(ctx context.Context, h core.Handle) ([]byte, error) {
+	if data, err := n.st.ObjectBytes(h); err == nil {
+		return data, nil
+	}
+	f := &clusterFetcher{n: n}
+	return f.Fetch(ctx, h)
+}

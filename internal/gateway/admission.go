@@ -1,0 +1,102 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned (and surfaced as HTTP 429) when both the
+// in-flight slots and the wait queue are full.
+var ErrOverloaded = errors.New("gateway: overloaded: in-flight and queue limits reached")
+
+// AdmissionStats is a snapshot of admission-control counters.
+type AdmissionStats struct {
+	InFlight    int    `json:"in_flight"`
+	Waiting     int    `json:"waiting"`
+	MaxInFlight int    `json:"max_in_flight"`
+	MaxQueue    int    `json:"max_queue"`
+	Admitted    uint64 `json:"admitted"`
+	Queued      uint64 `json:"queued"`
+	Rejected    uint64 `json:"rejected"`
+}
+
+// admission bounds the number of concurrently evaluating jobs. Up to
+// maxInFlight submissions run at once; up to maxQueue more wait for a
+// slot; beyond that, Acquire fails fast with ErrOverloaded so a saturated
+// gateway sheds load (429) instead of accumulating goroutines.
+//
+// Only evaluations that actually reach the backend are admitted — cache
+// hits and collapsed waiters never pass through here.
+type admission struct {
+	slots chan struct{}
+
+	mu          sync.Mutex
+	waiting     int
+	maxQueue    int
+	maxInFlight int
+
+	admitted atomic.Uint64
+	queued   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:       make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+	}
+}
+
+// Acquire claims an evaluation slot, waiting in the bounded queue if
+// necessary. On success the caller must Release.
+func (a *admission) Acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.waiting >= a.maxQueue {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return ErrOverloaded
+	}
+	a.waiting++
+	a.mu.Unlock()
+	a.queued.Add(1)
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (a *admission) Release() { <-a.slots }
+
+// Stats snapshots the counters.
+func (a *admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	waiting := a.waiting
+	a.mu.Unlock()
+	return AdmissionStats{
+		InFlight:    len(a.slots),
+		Waiting:     waiting,
+		MaxInFlight: a.maxInFlight,
+		MaxQueue:    a.maxQueue,
+		Admitted:    a.admitted.Load(),
+		Queued:      a.queued.Load(),
+		Rejected:    a.rejected.Load(),
+	}
+}

@@ -1,0 +1,170 @@
+package gateway
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"fixgo/internal/core"
+)
+
+// CacheOutcome classifies how a submission was satisfied.
+type CacheOutcome string
+
+const (
+	// OutcomeMiss: this submission led the evaluation.
+	OutcomeMiss CacheOutcome = "miss"
+	// OutcomeHit: the result was already cached.
+	OutcomeHit CacheOutcome = "hit"
+	// OutcomeCollapsed: the submission joined an identical in-flight
+	// evaluation led by another request.
+	OutcomeCollapsed CacheOutcome = "collapsed"
+	// OutcomeBypass: the cache was disabled for this submission.
+	OutcomeBypass CacheOutcome = "bypass"
+)
+
+// CacheStats is a snapshot of result-cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Collapsed uint64 `json:"collapsed"`
+	Evicted   uint64 `json:"evicted"`
+	Errors    uint64 `json:"errors"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// resultCache memoizes Handle → evaluated result with LRU eviction and
+// single-flight collapsing of concurrent identical evaluations. It is the
+// serving-edge mirror of the store's memoization tables: hitting it
+// requires no store lock, no engine future, and — for a cluster backend —
+// no network.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	entries  map[core.Handle]*list.Element
+	inflight map[core.Handle]*flight
+
+	hits      uint64
+	misses    uint64
+	collapsed uint64
+	evicted   uint64
+	errors    uint64
+}
+
+type cacheEntry struct {
+	key    core.Handle
+	result core.Handle
+}
+
+// flight is one in-progress evaluation that later identical submissions
+// join.
+type flight struct {
+	done   chan struct{}
+	result core.Handle
+	err    error
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[core.Handle]*list.Element),
+		inflight: make(map[core.Handle]*flight),
+	}
+}
+
+// cacheKey normalizes a submitted Handle to its memoization identity:
+// data Handles are keyed as Objects (an Object and a Ref to the same
+// bytes answer alike); Thunks and Encodes keep their full tag, because
+// style (Application vs Selection, Strict vs Shallow) changes the answer.
+func cacheKey(h core.Handle) core.Handle {
+	if h.IsData() {
+		return h.AsObject()
+	}
+	return h
+}
+
+// Do returns the cached result for h, or joins an in-flight evaluation,
+// or — if it is the first to ask — runs eval and publishes the outcome.
+// Errors are never cached: every collapsed waiter of a failed flight
+// receives the error, and the next submission retries.
+func (c *resultCache) Do(ctx context.Context, h core.Handle, eval func() (core.Handle, error)) (core.Handle, CacheOutcome, error) {
+	k := cacheKey(h)
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*cacheEntry).result
+		c.hits++
+		c.mu.Unlock()
+		return res, OutcomeHit, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.result, OutcomeCollapsed, f.err
+		case <-ctx.Done():
+			return core.Handle{}, OutcomeCollapsed, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// Publish in a defer: if eval panics (net/http recovers handler
+	// panics and keeps serving), the flight must still be torn down or
+	// every later submission of this handle would block on it forever.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = fmt.Errorf("gateway: evaluation of %v panicked", k)
+		}
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if f.err == nil {
+			c.insertLocked(k, f.result)
+		} else {
+			c.errors++
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.result, f.err = eval()
+	completed = true
+	return f.result, OutcomeMiss, f.err
+}
+
+func (c *resultCache) insertLocked(k core.Handle, result core.Handle) {
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, result: result})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Collapsed: c.collapsed,
+		Evicted:   c.evicted,
+		Errors:    c.errors,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fixgo/internal/core"
+)
+
+func key(i uint64) core.Handle {
+	th, _ := core.Identification(core.LiteralU64(i))
+	enc, _ := core.Strict(th)
+	return enc
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := newResultCache(2)
+	evals := 0
+	eval := func(v uint64) func() (core.Handle, error) {
+		return func() (core.Handle, error) {
+			evals++
+			return core.LiteralU64(v), nil
+		}
+	}
+	ctx := context.Background()
+
+	if _, out, _ := c.Do(ctx, key(1), eval(1)); out != OutcomeMiss {
+		t.Fatalf("first lookup: %v, want miss", out)
+	}
+	if res, out, _ := c.Do(ctx, key(1), eval(99)); out != OutcomeHit || res != core.LiteralU64(1) {
+		t.Fatalf("second lookup: %v %v, want hit with original result", out, res)
+	}
+	// Fill beyond capacity: key(1) is most recent after its hit, so
+	// inserting 2 then 3 evicts 2.
+	c.Do(ctx, key(2), eval(2))
+	c.Do(ctx, key(1), eval(1))
+	c.Do(ctx, key(3), eval(3))
+	if _, out, _ := c.Do(ctx, key(2), eval(2)); out != OutcomeMiss {
+		t.Errorf("evicted entry lookup: %v, want miss", out)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evicted == 0 {
+		t.Errorf("stats = %+v, want 2 entries and >0 evictions", st)
+	}
+	if evals != 4 {
+		t.Errorf("evals = %d, want 4 (1, 2, 3, and re-eval of evicted 2)", evals)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(ctx, key(7), func() (core.Handle, error) {
+		calls++
+		return core.Handle{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	res, out, err := c.Do(ctx, key(7), func() (core.Handle, error) {
+		calls++
+		return core.LiteralU64(7), nil
+	})
+	if err != nil || out != OutcomeMiss || res != core.LiteralU64(7) {
+		t.Fatalf("retry after error: res=%v out=%v err=%v, want fresh miss", res, out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (error retried, not cached)", calls)
+	}
+	if st := c.Stats(); st.Errors != 1 {
+		t.Errorf("errors stat = %d, want 1", st.Errors)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	var evals atomic.Int64
+	release := make(chan struct{})
+	const N = 16
+	var wg sync.WaitGroup
+	outcomes := make([]CacheOutcome, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, out, err := c.Do(ctx, key(42), func() (core.Handle, error) {
+				evals.Add(1)
+				<-release
+				return core.LiteralU64(42), nil
+			})
+			if err != nil || res != core.LiteralU64(42) {
+				t.Errorf("waiter %d: res=%v err=%v", i, res, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Let the herd pile onto the flight before releasing the leader.
+	for {
+		c.mu.Lock()
+		n := c.collapsed
+		c.mu.Unlock()
+		if n == N-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := evals.Load(); got != 1 {
+		t.Errorf("evaluations = %d, want exactly 1", got)
+	}
+	misses, collapsed := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case OutcomeMiss:
+			misses++
+		case OutcomeCollapsed:
+			collapsed++
+		}
+	}
+	if misses != 1 || collapsed != N-1 {
+		t.Errorf("outcomes: %d misses, %d collapsed; want 1 and %d", misses, collapsed, N-1)
+	}
+}

@@ -1,0 +1,200 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fixgo/internal/core"
+)
+
+// Client is the Go SDK for a gateway's HTTP API.
+type Client struct {
+	base   string
+	tenant string
+	hc     *http.Client
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithTenant stamps every request with a tenant identity.
+func WithTenant(name string) ClientOption {
+	return func(c *Client) { c.tenant = name }
+}
+
+// WithHTTPClient substitutes the underlying http.Client (e.g. one whose
+// Transport dispatches in-process for benchmarks).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// NewClient targets a gateway at base, e.g. "http://127.0.0.1:7670".
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StatusError reports a non-2xx gateway response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("gateway: HTTP %d: %s", e.Code, e.Message)
+}
+
+// IsOverloaded reports whether err is a 429 load-shed response.
+func IsOverloaded(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// PutBlob uploads a Blob and returns its Handle.
+func (c *Client) PutBlob(ctx context.Context, data []byte) (core.Handle, error) {
+	var reply HandleReply
+	if err := c.do(ctx, http.MethodPost, "/v1/blobs", "application/octet-stream", data, &reply); err != nil {
+		return core.Handle{}, err
+	}
+	return ParseHandle(reply.Handle)
+}
+
+// PutTree uploads a Tree and returns its Handle.
+func (c *Client) PutTree(ctx context.Context, entries []core.Handle) (core.Handle, error) {
+	req := TreeRequest{Entries: make([]string, len(entries))}
+	for i, e := range entries {
+		req.Entries[i] = FormatHandle(e)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return core.Handle{}, err
+	}
+	var reply HandleReply
+	if err := c.do(ctx, http.MethodPost, "/v1/trees", "application/json", body, &reply); err != nil {
+		return core.Handle{}, err
+	}
+	return ParseHandle(reply.Handle)
+}
+
+// JobResult is a completed submission as seen by the client.
+type JobResult struct {
+	Result  core.Handle
+	Outcome CacheOutcome
+	Elapsed time.Duration // server-side evaluation time
+	Data    []byte        // result Blob bytes when requested
+}
+
+// Submit evaluates a job (Thunk or Encode) by Handle.
+func (c *Client) Submit(ctx context.Context, h core.Handle) (JobResult, error) {
+	return c.submit(ctx, h, false)
+}
+
+// SubmitFetch evaluates a job and returns the result Blob's bytes inline.
+func (c *Client) SubmitFetch(ctx context.Context, h core.Handle) (JobResult, error) {
+	return c.submit(ctx, h, true)
+}
+
+func (c *Client) submit(ctx context.Context, h core.Handle, includeData bool) (JobResult, error) {
+	body, err := json.Marshal(JobRequest{Handle: FormatHandle(h), IncludeData: includeData})
+	if err != nil {
+		return JobResult{}, err
+	}
+	var reply JobReply
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", "application/json", body, &reply); err != nil {
+		return JobResult{}, err
+	}
+	res, err := ParseHandle(reply.Result)
+	if err != nil {
+		return JobResult{}, err
+	}
+	return JobResult{
+		Result:  res,
+		Outcome: CacheOutcome(reply.Outcome),
+		Elapsed: time.Duration(reply.ElapsedNS),
+		Data:    reply.Data,
+	}, nil
+}
+
+// BlobBytes downloads an object's packed bytes.
+func (c *Client) BlobBytes(ctx context.Context, h core.Handle) ([]byte, error) {
+	if h.IsLiteral() {
+		return h.LiteralData(), nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/blobs/"+FormatHandle(h), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.stamp(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stats fetches the gateway's counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	c.stamp(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, decodeError(resp)
+	}
+	var st Stats
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	c.stamp(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) stamp(req *http.Request) {
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
+	}
+}
+
+func decodeError(resp *http.Response) error {
+	var er ErrorReply
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return &StatusError{Code: resp.StatusCode, Message: er.Error}
+	}
+	return &StatusError{Code: resp.StatusCode, Message: string(data)}
+}

@@ -1,0 +1,380 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fixgo/internal/core"
+)
+
+// Options configures a gateway Server.
+type Options struct {
+	// Backend executes submitted jobs. Required.
+	Backend Backend
+	// CacheEntries bounds the result LRU. 0 disables the cache and
+	// single-flight collapsing (every submission reaches the backend).
+	CacheEntries int
+	// MaxInFlight bounds concurrent backend evaluations (default 64).
+	MaxInFlight int
+	// MaxQueue bounds submissions waiting for an evaluation slot before
+	// the gateway sheds load with 429 (default 4×MaxInFlight).
+	MaxQueue int
+	// MaxBlobBytes bounds one uploaded Blob (default 64 MiB).
+	MaxBlobBytes int64
+	// Logf, when set, receives one line per request error.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.MaxBlobBytes <= 0 {
+		o.MaxBlobBytes = 64 << 20
+	}
+	return o
+}
+
+// Server is the HTTP serving frontend. Create with NewServer, mount via
+// Handler.
+type Server struct {
+	opts  Options
+	cache *resultCache // nil when disabled
+	adm   *admission
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	tenants map[string]*TenantStats
+
+	jobsOK     uint64
+	jobsFailed uint64
+}
+
+// TenantStats is the per-tenant accounting slice of the stats report.
+type TenantStats struct {
+	Jobs     uint64 `json:"jobs"`
+	Hits     uint64 `json:"hits"` // cache hits + collapsed joins
+	Uploads  uint64 `json:"uploads"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Stats is the full observability snapshot served at /v1/stats.
+type Stats struct {
+	Cache     CacheStats              `json:"cache"`
+	Admission AdmissionStats          `json:"admission"`
+	JobsOK    uint64                  `json:"jobs_ok"`
+	JobsFail  uint64                  `json:"jobs_failed"`
+	Tenants   map[string]*TenantStats `json:"tenants"`
+}
+
+// NewServer builds a gateway over opts.Backend.
+func NewServer(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.Backend == nil {
+		return nil, errors.New("gateway: Options.Backend is required")
+	}
+	s := &Server{
+		opts:    opts,
+		adm:     newAdmission(opts.MaxInFlight, opts.MaxQueue),
+		tenants: make(map[string]*TenantStats),
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = newResultCache(opts.CacheEntries)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/blobs", s.handlePutBlob)
+	mux.HandleFunc("GET /v1/blobs/{handle}", s.handleGetBlob)
+	mux.HandleFunc("POST /v1/trees", s.handlePutTree)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots all counters (also served at /v1/stats).
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Admission: s.adm.Stats(),
+		JobsOK:    s.jobsOK,
+		JobsFail:  s.jobsFailed,
+		Tenants:   make(map[string]*TenantStats, len(s.tenants)),
+	}
+	if s.cache != nil {
+		out.Cache = s.cache.Stats()
+	}
+	for name, t := range s.tenants {
+		cp := *t
+		out.Tenants[name] = &cp
+	}
+	return out
+}
+
+func (s *Server) tenant(r *http.Request) *TenantStats {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		name = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[name]
+	if t == nil {
+		t = &TenantStats{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// TenantHeader names the header carrying the submitting tenant's
+// identity.
+const TenantHeader = "X-Fix-Tenant"
+
+// Wire types of the JSON API.
+type (
+	// HandleReply carries a newly ingested object's Handle.
+	HandleReply struct {
+		Handle string `json:"handle"`
+	}
+	// TreeRequest uploads a Tree as a list of entry Handles.
+	TreeRequest struct {
+		Entries []string `json:"entries"`
+	}
+	// JobRequest submits a job by Handle. A Thunk is wrapped in a
+	// Strict Encode automatically. IncludeData asks for the result
+	// Blob's bytes inline (base64) when the result is a Blob.
+	JobRequest struct {
+		Handle      string `json:"handle"`
+		IncludeData bool   `json:"include_data,omitempty"`
+	}
+	// JobReply reports a completed job.
+	JobReply struct {
+		Result    string `json:"result"`
+		Outcome   string `json:"outcome"` // hit | miss | collapsed | bypass
+		ElapsedNS int64  `json:"elapsed_ns"`
+		Data      []byte `json:"data,omitempty"` // base64 via encoding/json
+	}
+	// ErrorReply reports a failed request.
+	ErrorReply struct {
+		Error string `json:"error"`
+	}
+)
+
+func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r)
+	data, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBlobBytes+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if int64(len(data)) > s.opts.MaxBlobBytes {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("blob exceeds %d-byte limit", s.opts.MaxBlobBytes))
+		return
+	}
+	h := s.opts.Backend.PutBlob(data)
+	s.mu.Lock()
+	t.Uploads++
+	s.mu.Unlock()
+	s.reply(w, http.StatusOK, HandleReply{Handle: FormatHandle(h)})
+}
+
+func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
+	h, err := ParseHandle(r.PathValue("handle"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := s.opts.Backend.ObjectBytes(r.Context(), h)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handlePutTree(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r)
+	var req TreeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	entries := make([]core.Handle, len(req.Entries))
+	for i, e := range req.Entries {
+		h, err := ParseHandle(e)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("entry %d: %w", i, err))
+			return
+		}
+		entries[i] = h
+	}
+	h, err := s.opts.Backend.PutTree(entries)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	t.Uploads++
+	s.mu.Unlock()
+	s.reply(w, http.StatusOK, HandleReply{Handle: FormatHandle(h)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r)
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	h, err := ParseHandle(req.Handle)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if h.RefKind() == core.RefThunk {
+		// Submitting a bare Thunk means "force it all the way".
+		h, _ = core.Strict(h)
+	}
+
+	start := time.Now()
+	result, outcome, err := s.evaluate(r, h)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	t.Jobs++
+	if err == nil && (outcome == OutcomeHit || outcome == OutcomeCollapsed) {
+		t.Hits++
+	}
+	if err != nil {
+		s.jobsFailed++
+		if errors.Is(err, ErrOverloaded) {
+			t.Rejected++
+		}
+	} else {
+		s.jobsOK++
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			s.fail(w, http.StatusTooManyRequests, err)
+		case r.Context().Err() != nil:
+			s.fail(w, http.StatusGatewayTimeout, err)
+		default:
+			s.fail(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	reply := JobReply{
+		Result:    FormatHandle(result),
+		Outcome:   string(outcome),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if req.IncludeData && result.Kind() == core.KindBlob {
+		data, err := s.opts.Backend.ObjectBytes(r.Context(), result)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("result fetch: %w", err))
+			return
+		}
+		reply.Data = data
+	}
+	s.reply(w, http.StatusOK, reply)
+}
+
+// evaluate routes a submission through the result cache (hit or collapse
+// when possible) and admission control (only evaluations that actually
+// reach the backend take a slot).
+func (s *Server) evaluate(r *http.Request, h core.Handle) (core.Handle, CacheOutcome, error) {
+	ctx := r.Context()
+	if h.IsData() {
+		// Data evaluates to itself; don't spend cache or slots on it.
+		return h, OutcomeHit, nil
+	}
+	if s.cache == nil {
+		if err := s.adm.Acquire(ctx); err != nil {
+			return core.Handle{}, OutcomeBypass, err
+		}
+		defer s.adm.Release()
+		res, err := s.opts.Backend.Eval(ctx, h)
+		return res, OutcomeBypass, err
+	}
+	// The flight is shared: collapsed waiters ride on the leader's
+	// evaluation, so it must not die with the leader's connection.
+	// Detach it from the request's cancellation (the admission queue
+	// bounds how many detached evaluations can pile up), and let each
+	// waiter's own ctx govern only its wait.
+	flightCtx := context.WithoutCancel(ctx)
+	return s.cache.Do(ctx, h, func() (core.Handle, error) {
+		if err := s.adm.Acquire(flightCtx); err != nil {
+			return core.Handle{}, err
+		}
+		defer s.adm.Release()
+		return s.opts.Backend.Eval(flightCtx, h)
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics renders the counters in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name string, v any) { fmt.Fprintf(w, "fixgate_%s %v\n", name, v) }
+	p("cache_hits_total", st.Cache.Hits)
+	p("cache_misses_total", st.Cache.Misses)
+	p("cache_collapsed_total", st.Cache.Collapsed)
+	p("cache_evicted_total", st.Cache.Evicted)
+	p("cache_errors_total", st.Cache.Errors)
+	p("cache_entries", st.Cache.Entries)
+	p("cache_capacity", st.Cache.Capacity)
+	p("admission_in_flight", st.Admission.InFlight)
+	p("admission_waiting", st.Admission.Waiting)
+	p("admission_admitted_total", st.Admission.Admitted)
+	p("admission_queued_total", st.Admission.Queued)
+	p("admission_rejected_total", st.Admission.Rejected)
+	p("jobs_ok_total", st.JobsOK)
+	p("jobs_failed_total", st.JobsFail)
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := st.Tenants[name]
+		fmt.Fprintf(w, "fixgate_tenant_jobs_total{tenant=%q} %d\n", name, t.Jobs)
+		fmt.Fprintf(w, "fixgate_tenant_hits_total{tenant=%q} %d\n", name, t.Hits)
+	}
+}
+
+func (s *Server) reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	if s.opts.Logf != nil {
+		s.opts.Logf("gateway: %d: %v", code, err)
+	}
+	s.reply(w, code, ErrorReply{Error: err.Error()})
+}

@@ -192,3 +192,46 @@ func (t *tcpConn) Recv() ([]byte, error) {
 }
 
 func (t *tcpConn) Close() error { return t.c.Close() }
+
+// Listener accepts framed-TCP message links (the counterpart of Dial).
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener for message links on addr.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Accept waits for the next inbound link.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCP(c), nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }
+
+// Close stops the listener. Accepted links stay open.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Serve accepts links until the listener closes, invoking handle on each
+// (typically Node.AttachPeer, which starts its own receive goroutine and
+// returns). It returns the first Accept error; after Close that is
+// net.ErrClosed.
+func Serve(l *Listener, handle func(Conn)) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		handle(c)
+	}
+}
