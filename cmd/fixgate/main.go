@@ -7,6 +7,12 @@
 //	fixgate -listen :7670                          # in-process engine
 //	fixgate -listen :7670 -peers host-a:7600,host-b:7600
 //	fixgate -listen :7670 -cluster-listen :7601    # workers dial in
+//	fixgate -listen :7670 -data-dir /var/lib/fixgate
+//
+// With -data-dir, uploads and memoized results write-through to a
+// crash-recoverable store (internal/durable), and on boot the result
+// cache is warmed from the recovered memo journal — a restarted edge
+// answers repeat thunks without re-evaluating them.
 //
 // With -peers (or -cluster-listen) the gateway fronts a cluster of
 // cmd/fixpoint workers as a client-only node: uploads are advertised to
@@ -29,6 +35,8 @@ import (
 	"fixgo/internal/bptree"
 	"fixgo/internal/buildsys"
 	"fixgo/internal/cluster"
+	"fixgo/internal/core"
+	"fixgo/internal/durable"
 	"fixgo/internal/flatware"
 	"fixgo/internal/gateway"
 	"fixgo/internal/runtime"
@@ -47,6 +55,9 @@ func main() {
 	cacheEntries := flag.Int("cache", 4096, "result cache entries (0 disables caching and collapsing)")
 	maxInFlight := flag.Int("max-inflight", 64, "concurrent backend evaluations")
 	maxQueue := flag.Int("max-queue", 256, "queued submissions before load-shedding with 429")
+	dataDir := flag.String("data-dir", "", "directory for the durable object/memo store (empty: in-memory only)")
+	fsync := flag.String("fsync", "interval", "durable fsync policy: always | interval | never")
+	gcBudgetMiB := flag.Int64("gc-budget-mib", 0, "durable pack budget in MiB before GC (0: unbounded)")
 	flag.Parse()
 
 	reg := runtime.NewRegistry()
@@ -57,9 +68,11 @@ func main() {
 	flatware.RegisterSeBS(reg)
 
 	var backend gateway.Backend
+	var backing *store.Store
+	var node *cluster.Node
 	clustered := *peers != "" || *clusterListen != ""
 	if clustered {
-		node := cluster.NewNode(*id, cluster.NodeOptions{
+		node = cluster.NewNode(*id, cluster.NodeOptions{
 			Cores:      1,
 			ClientOnly: true,
 			Registry:   reg,
@@ -89,6 +102,7 @@ func main() {
 			}()
 		}
 		backend = node
+		backing = node.Store()
 	} else {
 		eng := runtime.New(store.New(), runtime.Options{
 			Cores:       *cores,
@@ -96,17 +110,64 @@ func main() {
 			Registry:    reg,
 		})
 		backend = gateway.NewEngineBackend(eng)
+		backing = eng.Store()
+	}
+
+	var dur *durable.Store
+	if *dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		d, rs, err := durable.Attach(*dataDir, durable.Options{
+			Fsync:         policy,
+			GCBudgetBytes: *gcBudgetMiB << 20,
+			Logf:          log.Printf,
+		}, backing)
+		if err != nil {
+			fatal(err)
+		}
+		defer d.Close()
+		dur = d
+		fmt.Printf("fixgate: recovered %d blobs, %d trees, %d thunk + %d encode memos from %s (fsync=%s)\n",
+			rs.Blobs, rs.Trees, rs.Thunks, rs.Encodes, *dataDir, policy)
+		if clustered {
+			// Peers connected before the restore saw an empty-store
+			// Hello; re-advertise so recovered objects are placeable.
+			node.AdvertiseAll()
+		}
 	}
 
 	srv, err := gateway.NewServer(gateway.Options{
-		Backend:      backend,
-		CacheEntries: *cacheEntries,
-		MaxInFlight:  *maxInFlight,
-		MaxQueue:     *maxQueue,
-		Logf:         log.Printf,
+		Backend:       backend,
+		CacheEntries:  *cacheEntries,
+		MaxInFlight:   *maxInFlight,
+		MaxQueue:      *maxQueue,
+		PersistErrors: backing.PersistErrors,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if dur != nil {
+		// Warm the edge cache from the recovered memo journal: an Encode
+		// memo is exactly what a repeat submission of that job asks for
+		// (bare-Thunk submissions are wrapped in a Strict Encode). Warm
+		// only entries the restore accepted — RestoreInto drops memos
+		// whose result closure lost an object to the crash (the journal
+		// and packs are separate files with no cross-file atomicity),
+		// and warming those would pin an unfetchable answer.
+		warmed := 0
+		dur.MemoEntries(func(kind durable.MemoKind, key, result core.Handle) {
+			if kind != durable.MemoEncode {
+				return
+			}
+			if r, ok := backing.EncodeResult(key); ok && r == result && srv.Warm(key, result) {
+				warmed++
+			}
+		})
+		fmt.Printf("fixgate: warmed %d cache entries from the memo journal\n", warmed)
 	}
 
 	mode := "in-process engine"

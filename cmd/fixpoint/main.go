@@ -5,9 +5,14 @@
 //
 //	fixpoint -listen :7600 -id node-a
 //	fixpoint -listen :7601 -id node-b -peers host-a:7600
+//	fixpoint -listen :7600 -data-dir /var/lib/fixpoint -fsync interval
 //
 // Nodes exchange object advertisements on connect and thereafter delegate
 // jobs by data locality. Clients (cmd/fixctl) connect the same way.
+//
+// With -data-dir, every object and memoization write-throughs to a
+// crash-recoverable store (internal/durable); a restarted node replays it
+// and serves previously evaluated thunks without re-executing them.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fixgo/internal/bptree"
 	"fixgo/internal/buildsys"
 	"fixgo/internal/cluster"
+	"fixgo/internal/durable"
 	"fixgo/internal/flatware"
 	"fixgo/internal/runtime"
 	"fixgo/internal/transport"
@@ -33,6 +39,9 @@ func main() {
 	memGiB := flag.Uint64("mem-gib", 64, "RAM capacity in GiB")
 	internalIO := flag.Bool("internal-io", false, "ablation: claim resources before dependencies arrive")
 	noLocality := flag.Bool("no-locality", false, "ablation: random placement")
+	dataDir := flag.String("data-dir", "", "directory for the durable object/memo store (empty: in-memory only)")
+	fsync := flag.String("fsync", "interval", "durable fsync policy: always | interval | never")
+	gcBudgetMiB := flag.Int64("gc-budget-mib", 0, "durable pack budget in MiB before GC (0: unbounded)")
 	flag.Parse()
 
 	if *id == "" {
@@ -52,6 +61,28 @@ func main() {
 		NoLocality:  *noLocality,
 		Registry:    reg,
 	})
+
+	if *dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fixpoint:", err)
+			os.Exit(1)
+		}
+		d, rs, err := durable.Attach(*dataDir, durable.Options{
+			Fsync:         policy,
+			GCBudgetBytes: *gcBudgetMiB << 20,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}, node.Store())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fixpoint:", err)
+			os.Exit(1)
+		}
+		defer d.Close()
+		fmt.Printf("fixpoint: recovered %d blobs, %d trees, %d thunk + %d encode memos from %s (fsync=%s)\n",
+			rs.Blobs, rs.Trees, rs.Thunks, rs.Encodes, *dataDir, policy)
+	}
 
 	for _, addr := range strings.Split(*peers, ",") {
 		addr = strings.TrimSpace(addr)

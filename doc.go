@@ -7,6 +7,8 @@
 //
 //   - internal/core      — the Fix ABI (Handles, Blobs, Trees, Thunks, Encodes)
 //   - internal/store     — content-addressed runtime storage with memoization
+//   - internal/durable   — crash-recoverable disk persistence: append-only
+//     packs + memo journal with CRC framing, replay, fsync policy, GC
 //   - internal/codelet   — FixVM, the sandboxed deterministic codelet VM
 //   - internal/runtime   — the Fixpoint engine (late-binding evaluator)
 //   - internal/cluster   — the distributed engine and dataflow-aware scheduler

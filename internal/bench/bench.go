@@ -76,6 +76,10 @@ type Scale struct {
 	GateLinkLatency time.Duration // edge ↔ worker propagation delay
 	GateMaxInFlight int           // gateway admission slots
 	GateCache       int           // result-cache entries
+
+	// Durable persistence experiment (internal/durable).
+	DurObjects   int // objects written through and recovered (paper-scale: 1M)
+	DurBlobBytes int // payload bytes per object (must exceed the literal cutoff)
 }
 
 // DefaultScale is the quick configuration used by `go test -bench` and
@@ -128,6 +132,9 @@ func DefaultScale() Scale {
 		GateLinkLatency: 500 * time.Microsecond,
 		GateMaxInFlight: 4,
 		GateCache:       4096,
+
+		DurObjects:   10000,
+		DurBlobBytes: 128,
 	}
 }
 
@@ -148,6 +155,7 @@ func PaperScale() Scale {
 	s.SourceFiles = 1000
 	s.GateClients = 64
 	s.GateRequests = 50
+	s.DurObjects = 1000000
 	return s
 }
 
@@ -171,6 +179,7 @@ var Experiments = []struct {
 	{"fig9", Fig9},
 	{"fig10", Fig10},
 	{"gateway", FigGate},
+	{"durable", FigDurable},
 }
 
 // Run executes one experiment by id.

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigDurable checks the experiment's acceptance property: every
+// write-through configuration completes, and the restart-recovery row
+// reports a 100% post-restart memo hit rate (nothing previously
+// evaluated is lost or re-executed).
+func TestFigDurable(t *testing.T) {
+	s := tinyScale()
+	s.DurObjects = 300
+	res, err := FigDurable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s: no measurement", r.System)
+		}
+	}
+	rec := res.Rows[len(res.Rows)-1]
+	if !strings.Contains(rec.System, "restart recovery") {
+		t.Fatalf("last row = %q, want restart recovery", rec.System)
+	}
+	if !strings.Contains(rec.Detail, "hit rate 100.0%") {
+		t.Fatalf("recovery detail = %q, want 100%% hit rate", rec.Detail)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("unexpected warning note: %s", n)
+		}
+	}
+}

@@ -31,6 +31,7 @@ type CacheStats struct {
 	Collapsed uint64 `json:"collapsed"`
 	Evicted   uint64 `json:"evicted"`
 	Errors    uint64 `json:"errors"`
+	Warmed    uint64 `json:"warmed"` // entries preloaded from a recovered memo journal
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
 }
@@ -52,6 +53,7 @@ type resultCache struct {
 	collapsed uint64
 	evicted   uint64
 	errors    uint64
+	warmed    uint64
 }
 
 type cacheEntry struct {
@@ -154,6 +156,15 @@ func (c *resultCache) insertLocked(k core.Handle, result core.Handle) {
 	}
 }
 
+// warm inserts a known (key → result) pair without an evaluation, for
+// pre-populating the cache from a recovered memo journal.
+func (c *resultCache) warm(k, result core.Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(k, result)
+	c.warmed++
+}
+
 // Stats snapshots the counters.
 func (c *resultCache) Stats() CacheStats {
 	c.mu.Lock()
@@ -164,6 +175,7 @@ func (c *resultCache) Stats() CacheStats {
 		Collapsed: c.collapsed,
 		Evicted:   c.evicted,
 		Errors:    c.errors,
+		Warmed:    c.warmed,
 		Entries:   c.ll.Len(),
 		Capacity:  c.capacity,
 	}

@@ -28,6 +28,14 @@ type Options struct {
 	MaxQueue int
 	// MaxBlobBytes bounds one uploaded Blob (default 64 MiB).
 	MaxBlobBytes int64
+	// MaxJSONBytes bounds the request body of the JSON endpoints
+	// (/v1/trees, /v1/jobs; default 8 MiB). Without a bound, a single
+	// oversized upload is a trivial memory-exhaustion vector.
+	MaxJSONBytes int64
+	// PersistErrors, when set, reports the backing store's write-through
+	// failure count (store.Store.PersistErrors) so silent durability
+	// loss is visible in /v1/stats and /metrics.
+	PersistErrors func() uint64
 	// Logf, when set, receives one line per request error.
 	Logf func(format string, args ...any)
 }
@@ -41,6 +49,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBlobBytes <= 0 {
 		o.MaxBlobBytes = 64 << 20
+	}
+	if o.MaxJSONBytes <= 0 {
+		o.MaxJSONBytes = 8 << 20
 	}
 	return o
 }
@@ -70,11 +81,14 @@ type TenantStats struct {
 
 // Stats is the full observability snapshot served at /v1/stats.
 type Stats struct {
-	Cache     CacheStats              `json:"cache"`
-	Admission AdmissionStats          `json:"admission"`
-	JobsOK    uint64                  `json:"jobs_ok"`
-	JobsFail  uint64                  `json:"jobs_failed"`
-	Tenants   map[string]*TenantStats `json:"tenants"`
+	Cache     CacheStats     `json:"cache"`
+	Admission AdmissionStats `json:"admission"`
+	JobsOK    uint64         `json:"jobs_ok"`
+	JobsFail  uint64         `json:"jobs_failed"`
+	// PersistErrors counts failed durable write-throughs on the backing
+	// store (0 when persistence is not configured).
+	PersistErrors uint64                  `json:"persist_errors"`
+	Tenants       map[string]*TenantStats `json:"tenants"`
 }
 
 // NewServer builds a gateway over opts.Backend.
@@ -105,6 +119,20 @@ func NewServer(opts Options) (*Server, error) {
 // Handler returns the gateway's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Warm pre-populates the result cache with a known (job → result)
+// memoization — the boot path for a gateway restarted against a durable
+// data-dir, which replays the recovered memo journal here so repeat
+// submissions hit at the edge without re-evaluating. It reports whether
+// the entry was inserted (false when the cache is disabled or job is
+// plain data).
+func (s *Server) Warm(job, result core.Handle) bool {
+	if s.cache == nil || job.IsData() || job.IsZero() {
+		return false
+	}
+	s.cache.warm(cacheKey(job), result)
+	return true
+}
+
 // Stats snapshots all counters (also served at /v1/stats).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -117,6 +145,9 @@ func (s *Server) Stats() Stats {
 	}
 	if s.cache != nil {
 		out.Cache = s.cache.Stats()
+	}
+	if s.opts.PersistErrors != nil {
+		out.PersistErrors = s.opts.PersistErrors()
 	}
 	for name, t := range s.tenants {
 		cp := *t
@@ -176,14 +207,15 @@ type (
 
 func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(r)
-	data, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBlobBytes+1))
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBlobBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("blob exceeds %d-byte limit", s.opts.MaxBlobBytes))
+			return
+		}
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
-		return
-	}
-	if int64(len(data)) > s.opts.MaxBlobBytes {
-		s.fail(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("blob exceeds %d-byte limit", s.opts.MaxBlobBytes))
 		return
 	}
 	h := s.opts.Backend.PutBlob(data)
@@ -211,8 +243,7 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePutTree(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(r)
 	var req TreeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		return
 	}
 	entries := make([]core.Handle, len(req.Entries))
@@ -235,11 +266,27 @@ func (s *Server) handlePutTree(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, HandleReply{Handle: FormatHandle(h)})
 }
 
+// decodeJSON decodes a bounded JSON request body, writing the error reply
+// (413 for an oversized body, 400 otherwise) itself.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxJSONBytes)).Decode(v)
+	if err == nil {
+		return nil
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d-byte limit", s.opts.MaxJSONBytes))
+	} else {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	}
+	return err
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(r)
 	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		return
 	}
 	h, err := ParseHandle(req.Handle)
@@ -345,6 +392,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cache_collapsed_total", st.Cache.Collapsed)
 	p("cache_evicted_total", st.Cache.Evicted)
 	p("cache_errors_total", st.Cache.Errors)
+	p("cache_warmed_total", st.Cache.Warmed)
 	p("cache_entries", st.Cache.Entries)
 	p("cache_capacity", st.Cache.Capacity)
 	p("admission_in_flight", st.Admission.InFlight)
@@ -354,6 +402,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("admission_rejected_total", st.Admission.Rejected)
 	p("jobs_ok_total", st.JobsOK)
 	p("jobs_failed_total", st.JobsFail)
+	p("persist_errors_total", st.PersistErrors)
 	names := make([]string, 0, len(st.Tenants))
 	for name := range st.Tenants {
 		names = append(names, name)

@@ -26,6 +26,25 @@ func IsNotFound(err error) bool {
 	return ok
 }
 
+// Persister is the pluggable persistence hook behind a Store. When one
+// is attached (SetPersister), every newly inserted object and every
+// memoization write-throughs to it. Implementations must be safe for
+// concurrent use; internal/durable provides the disk-backed one.
+//
+// Persist calls happen outside the Store's lock, after the in-memory
+// insert: content-addressed records are idempotent and never remap, so
+// ordering between concurrent persists of different keys is irrelevant.
+type Persister interface {
+	// PersistBlob records a Blob's contents under its Object Handle.
+	PersistBlob(h core.Handle, data []byte) error
+	// PersistTree records a Tree's entries under its Object Handle.
+	PersistTree(h core.Handle, entries []core.Handle) error
+	// PersistThunkResult records a Thunk memoization.
+	PersistThunkResult(thunk, result core.Handle) error
+	// PersistEncodeResult records an Encode memoization.
+	PersistEncodeResult(encode, result core.Handle) error
+}
+
 // Store is an in-memory content-addressed object store with memoization
 // tables. The zero value is not usable; call New.
 type Store struct {
@@ -36,6 +55,39 @@ type Store struct {
 	encodeResults map[core.Handle]core.Handle
 	pins          map[core.Handle]int
 	bytes         uint64
+	persister     Persister
+	persistErrs   uint64
+}
+
+// SetPersister attaches (or, with nil, detaches) the write-through
+// persistence hook. Attach after restoring a recovered image so the
+// reload does not pointlessly write back through. Objects and memo
+// entries inserted before attachment are not replayed.
+func (s *Store) SetPersister(p Persister) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persister = p
+}
+
+// PersistErrors reports how many write-through persist calls have failed.
+// The in-memory tiers stay correct when persistence degrades; this
+// counter is the signal that durability is impaired.
+func (s *Store) PersistErrors() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.persistErrs
+}
+
+// persist runs one write-through call and accounts a failure.
+func (s *Store) persist(p Persister, fn func(Persister) error) {
+	if p == nil {
+		return
+	}
+	if err := fn(p); err != nil {
+		s.mu.Lock()
+		s.persistErrs++
+		s.mu.Unlock()
+	}
 }
 
 // New returns an empty Store.
@@ -75,12 +127,17 @@ func (s *Store) PutBlob(data []byte) core.Handle {
 		return h
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var cp []byte
 	if _, ok := s.blobs[h]; !ok {
-		cp := make([]byte, len(data))
+		cp = make([]byte, len(data))
 		copy(cp, data)
 		s.blobs[h] = cp
 		s.bytes += uint64(len(cp))
+	}
+	p := s.persister
+	s.mu.Unlock()
+	if cp != nil {
+		s.persist(p, func(p Persister) error { return p.PersistBlob(h, cp) })
 	}
 	return h
 }
@@ -95,12 +152,17 @@ func (s *Store) PutTree(entries []core.Handle) (core.Handle, error) {
 	}
 	h := core.TreeHandle(entries)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var cp []core.Handle
 	if _, ok := s.trees[h]; !ok {
-		cp := make([]core.Handle, len(entries))
+		cp = make([]core.Handle, len(entries))
 		copy(cp, entries)
 		s.trees[h] = cp
 		s.bytes += uint64(len(cp) * core.HandleSize)
+	}
+	p := s.persister
+	s.mu.Unlock()
+	if cp != nil {
+		s.persist(p, func(p Persister) error { return p.PersistTree(h, cp) })
 	}
 	return h, nil
 }
@@ -122,12 +184,17 @@ func (s *Store) PutObject(h core.Handle, data []byte) error {
 			return fmt.Errorf("store: blob bytes do not match handle %v", h)
 		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
+		var cp []byte
 		if _, ok := s.blobs[key]; !ok {
-			cp := make([]byte, len(data))
+			cp = make([]byte, len(data))
 			copy(cp, data)
 			s.blobs[key] = cp
 			s.bytes += uint64(len(cp))
+		}
+		p := s.persister
+		s.mu.Unlock()
+		if cp != nil {
+			s.persist(p, func(p Persister) error { return p.PersistBlob(key, cp) })
 		}
 		return nil
 	default:
@@ -139,10 +206,16 @@ func (s *Store) PutObject(h core.Handle, data []byte) error {
 			return fmt.Errorf("store: tree bytes do not match handle %v", h)
 		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
+		inserted := false
 		if _, ok := s.trees[key]; !ok {
 			s.trees[key] = entries
 			s.bytes += uint64(len(entries) * core.HandleSize)
+			inserted = true
+		}
+		p := s.persister
+		s.mu.Unlock()
+		if inserted {
+			s.persist(p, func(p Persister) error { return p.PersistTree(key, entries) })
 		}
 		return nil
 	}
@@ -223,8 +296,13 @@ func (s *Store) ThunkResult(thunk core.Handle) (core.Handle, bool) {
 // SetThunkResult memoizes a Thunk's one-pass evaluation result.
 func (s *Store) SetThunkResult(thunk, result core.Handle) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	prev, known := s.thunkResults[thunk]
 	s.thunkResults[thunk] = result
+	p := s.persister
+	s.mu.Unlock()
+	if !known || prev != result {
+		s.persist(p, func(p Persister) error { return p.PersistThunkResult(thunk, result) })
+	}
 }
 
 // EncodeResult returns the memoized result of forcing an Encode.
@@ -238,8 +316,13 @@ func (s *Store) EncodeResult(encode core.Handle) (core.Handle, bool) {
 // SetEncodeResult memoizes an Encode's forced result.
 func (s *Store) SetEncodeResult(encode, result core.Handle) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	prev, known := s.encodeResults[encode]
 	s.encodeResults[encode] = result
+	p := s.persister
+	s.mu.Unlock()
+	if !known || prev != result {
+		s.persist(p, func(p Persister) error { return p.PersistEncodeResult(encode, result) })
+	}
 }
 
 // Pin marks an object as non-evictable (e.g. while it is part of a running

@@ -276,3 +276,164 @@ func TestPutGetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Pin semantics -----------------------------------------------------
+// Pins are refcounts on the canonical object key: every eviction/GC path
+// must see a pinned object as immovable, via whatever Handle form the pin
+// or the eviction arrives.
+
+func TestPinRefcountDeepNesting(t *testing.T) {
+	s := New()
+	h := s.PutBlob(bytes.Repeat([]byte{6}, 64))
+	const depth = 50
+	for i := 0; i < depth; i++ {
+		s.Pin(h)
+	}
+	for i := 0; i < depth-1; i++ {
+		s.Unpin(h)
+		if s.Evict(h) {
+			t.Fatalf("evicted with %d pins outstanding", depth-1-i)
+		}
+	}
+	s.Unpin(h)
+	if !s.Evict(h) {
+		t.Fatal("fully unpinned object should evict")
+	}
+}
+
+func TestUnpinBeyondZeroIsHarmless(t *testing.T) {
+	s := New()
+	h := s.PutBlob(bytes.Repeat([]byte{8}, 64))
+	s.Unpin(h) // never pinned: must not underflow into "pinned forever"
+	s.Unpin(h)
+	if !s.Evict(h) {
+		t.Fatal("never-pinned object should evict after stray Unpins")
+	}
+	// And a later Pin still protects.
+	h2 := s.PutBlob(bytes.Repeat([]byte{9}, 64))
+	s.Unpin(h2)
+	s.Pin(h2)
+	if s.Evict(h2) {
+		t.Fatal("pin after stray unpin must still protect")
+	}
+}
+
+func TestPinCanonicalizesHandleForms(t *testing.T) {
+	s := New()
+	h := s.PutBlob(bytes.Repeat([]byte{10}, 64))
+	// Pin via the Ref form, evict via the Object form: same refcount.
+	s.Pin(h.AsRef())
+	if s.Evict(h) {
+		t.Fatal("pin via Ref must protect the Object")
+	}
+	s.Unpin(h) // unpin via Object form
+	if !s.Evict(h.AsRef()) {
+		t.Fatal("evict via Ref form should remove the unpinned object")
+	}
+
+	// Pin via a Thunk handle pins the thunk's definition Tree.
+	tr, err := s.PutTree([]core.Handle{core.LiteralU64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thunk, err := core.Application(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(thunk)
+	if s.Evict(tr) {
+		t.Fatal("pin via Thunk must protect its definition Tree")
+	}
+	s.Unpin(thunk)
+	if !s.Evict(tr) {
+		t.Fatal("definition Tree should evict after Unpin via Thunk")
+	}
+}
+
+func TestPinLiteralIsNoop(t *testing.T) {
+	s := New()
+	lit := s.PutBlob([]byte("tiny"))
+	s.Pin(lit)
+	s.Unpin(lit)
+	s.Unpin(lit)
+	if s.Len() != 0 {
+		t.Fatal("literal pins must not create storage entries")
+	}
+	if s.Evict(lit) {
+		t.Fatal("literals are not evictable (their data lives in the Handle)")
+	}
+}
+
+func TestPinnedSurvivesEvictionSweep(t *testing.T) {
+	s := New()
+	var all, pinned []core.Handle
+	for i := 0; i < 64; i++ {
+		h := s.PutBlob(bytes.Repeat([]byte{byte(i)}, 64))
+		all = append(all, h)
+		if i%4 == 0 {
+			s.Pin(h)
+			pinned = append(pinned, h)
+		}
+	}
+	tr, err := s.PutTree(all[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(tr)
+	// The GC sweep: try to evict everything.
+	evicted := 0
+	for _, h := range all {
+		if s.Evict(h) {
+			evicted++
+		}
+	}
+	s.Evict(tr)
+	if evicted != len(all)-len(pinned) {
+		t.Fatalf("evicted %d, want %d", evicted, len(all)-len(pinned))
+	}
+	for _, h := range pinned {
+		if !s.Contains(h) {
+			t.Fatalf("pinned object %v lost in sweep", h)
+		}
+		if _, err := s.Blob(h); err != nil {
+			t.Fatalf("pinned object %v unreadable: %v", h, err)
+		}
+	}
+	if !s.Contains(tr) {
+		t.Fatal("pinned tree lost in sweep")
+	}
+	// Unpin and re-sweep: now everything goes, and the byte accounting
+	// returns to zero.
+	for _, h := range pinned {
+		s.Unpin(h)
+		s.Evict(h)
+	}
+	s.Unpin(tr)
+	s.Evict(tr)
+	if s.Len() != 0 || s.TotalBytes() != 0 {
+		t.Fatalf("after full sweep: len=%d bytes=%d", s.Len(), s.TotalBytes())
+	}
+}
+
+func TestConcurrentPinUnpin(t *testing.T) {
+	s := New()
+	h := s.PutBlob(bytes.Repeat([]byte{3}, 64))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Pin(h)
+				if s.Evict(h) {
+					t.Error("evicted while pinned")
+				}
+				s.Unpin(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if !s.Evict(h) {
+		t.Fatal("balanced pin/unpin should leave the object evictable")
+	}
+}
