@@ -10,9 +10,17 @@
 //	fixgate -listen :7670 -data-dir /var/lib/fixgate
 //
 // With -data-dir, uploads and memoized results write-through to a
-// crash-recoverable store (internal/durable), and on boot the result
-// cache is warmed from the recovered memo journal — a restarted edge
-// answers repeat thunks without re-evaluating them.
+// crash-recoverable store (internal/durable), on boot the result cache
+// is warmed from the recovered memo journal — a restarted edge answers
+// repeat thunks without re-evaluating them — and the asynchronous job
+// queue journals to <data-dir>/jobs.journal, so pending jobs resume
+// after a restart and completed ones keep serving their results.
+//
+// Submissions run synchronously by default; with ?mode=async (or
+// Prefer: respond-async) they enqueue into a durable job queue drained
+// by -async-workers workers with per-tenant fair scheduling, and clients
+// follow up via GET /v1/jobs/{id} (long-poll with ?wait=30s), the SSE
+// stream at /v1/jobs/{id}/events, or DELETE /v1/jobs/{id} to cancel.
 //
 // With -peers (or -cluster-listen) the gateway fronts a cluster of
 // cmd/fixpoint workers as a client-only node: uploads are advertised to
@@ -21,7 +29,9 @@
 // engine.
 //
 // Endpoints: POST /v1/blobs, GET /v1/blobs/{handle}, POST /v1/trees,
-// POST /v1/jobs, GET /v1/stats, GET /metrics.
+// POST /v1/jobs (sync or ?mode=async), GET/DELETE /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (SSE), GET /v1/jobs, GET /v1/stats,
+// GET /metrics. See README.md for the full API reference.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fixgo/internal/bptree"
@@ -58,6 +69,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the durable object/memo store (empty: in-memory only)")
 	fsync := flag.String("fsync", "interval", "durable fsync policy: always | interval | never")
 	gcBudgetMiB := flag.Int64("gc-budget-mib", 0, "durable pack budget in MiB before GC (0: unbounded)")
+	asyncWorkers := flag.Int("async-workers", 8, "async job worker pool size (0 disables the async endpoints)")
+	queueDepth := flag.Int("queue-depth", 1024, "pending async jobs before submissions shed with 429")
 	flag.Parse()
 
 	reg := runtime.NewRegistry()
@@ -113,12 +126,12 @@ func main() {
 		backing = eng.Store()
 	}
 
+	policy, err := durable.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
 	var dur *durable.Store
 	if *dataDir != "" {
-		policy, err := durable.ParseFsyncPolicy(*fsync)
-		if err != nil {
-			fatal(err)
-		}
 		d, rs, err := durable.Attach(*dataDir, durable.Options{
 			Fsync:         policy,
 			GCBudgetBytes: *gcBudgetMiB << 20,
@@ -138,16 +151,35 @@ func main() {
 		}
 	}
 
-	srv, err := gateway.NewServer(gateway.Options{
-		Backend:       backend,
-		CacheEntries:  *cacheEntries,
-		MaxInFlight:   *maxInFlight,
-		MaxQueue:      *maxQueue,
-		PersistErrors: backing.PersistErrors,
-		Logf:          log.Printf,
-	})
+	gwOpts := gateway.Options{
+		Backend:         backend,
+		CacheEntries:    *cacheEntries,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		PersistErrors:   backing.PersistErrors,
+		AsyncWorkers:    *asyncWorkers,
+		AsyncQueueDepth: *queueDepth,
+		Logf:            log.Printf,
+	}
+	if *dataDir != "" {
+		// The jobs journal shares the data-dir (and fsync policy) with
+		// the durable store; the memo restore above already ran, so jobs
+		// resumed by the worker pool hit recovered memos instead of
+		// re-executing.
+		gwOpts.JobsJournalPath = filepath.Join(*dataDir, "jobs.journal")
+		gwOpts.JobsFsync = policy
+	}
+	srv, err := gateway.NewServer(gwOpts)
 	if err != nil {
 		fatal(err)
+	}
+	defer srv.Close()
+	if m := srv.Jobs(); m != nil {
+		js := m.Stats()
+		if js.Replayed > 0 {
+			fmt.Printf("fixgate: recovered %d async jobs (%d resumed as pending)\n", js.Replayed, js.Resumed)
+		}
+		fmt.Printf("fixgate: async jobs: %d workers, queue depth %d\n", *asyncWorkers, *queueDepth)
 	}
 
 	if dur != nil {

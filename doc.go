@@ -14,15 +14,18 @@
 //   - internal/cluster   — the distributed engine and dataflow-aware scheduler
 //   - internal/gateway   — the HTTP serving frontend (cmd/fixgate): result
 //     cache with single-flight collapsing, admission control, client SDK
+//   - internal/jobs      — the asynchronous job lifecycle: durable journaled
+//     queue, per-tenant fair worker pool, retries, dead-letter, cancellation
 //   - internal/transport, internal/proto, internal/objstore — networking
 //   - internal/baselines — OpenWhisk/Ray/Pheromone/Faasm re-implementations
 //   - internal/flatware, internal/bptree, internal/wiki, internal/buildsys —
 //     the evaluation workloads
 //   - internal/bench     — one experiment per table/figure
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
-// benchmarks in bench_test.go regenerate each figure:
+// See README.md for a tour and the HTTP API reference, ARCHITECTURE.md
+// for the package map, request-lifecycle walkthrough, and substitution
+// inventory, and BENCHMARKS.md for each experiment and its emitted
+// BENCH_*.json. The benchmarks in bench_test.go regenerate each figure:
 //
 //	go test -bench=. -benchmem
 package fixgo

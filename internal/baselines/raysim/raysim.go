@@ -15,7 +15,7 @@
 //     block the slot — the contrast the paper draws in Listings 2/3).
 //
 // Per-invocation overhead constants default to values calibrated against
-// the paper's Fig. 7a measurements; see DESIGN.md substitution #5.
+// the paper's Fig. 7a measurements (ARCHITECTURE.md §Substitutions).
 package raysim
 
 import (

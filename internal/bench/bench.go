@@ -1,9 +1,9 @@
 // Package bench regenerates every table and figure of the paper's
 // evaluation (section 5). Each Fig* function runs one experiment at a
 // configurable scale and returns a Result comparing measured numbers with
-// the paper's (EXPERIMENTS.md records both). Absolute values are not
+// the paper's (BENCHMARKS.md documents each experiment). Absolute values are not
 // expected to match — the substrate is a simulated cluster on one machine
-// (DESIGN.md substitutions) — but orderings, approximate ratios, and
+// (ARCHITECTURE.md §Substitutions) — but orderings, approximate ratios, and
 // crossover points should.
 package bench
 
@@ -80,6 +80,12 @@ type Scale struct {
 	// Durable persistence experiment (internal/durable).
 	DurObjects   int // objects written through and recovered (paper-scale: 1M)
 	DurBlobBytes int // payload bytes per object (must exceed the literal cutoff)
+
+	// Async job-lifecycle experiment (internal/jobs, cmd/fixgate).
+	JobsCount       int           // unique jobs submitted per configuration
+	JobsWorkers     int           // async worker pool size (and backend concurrency)
+	JobsClients     int           // closed-loop submitting clients
+	JobsServiceTime time.Duration // modeled per-job compute
 }
 
 // DefaultScale is the quick configuration used by `go test -bench` and
@@ -135,6 +141,11 @@ func DefaultScale() Scale {
 
 		DurObjects:   10000,
 		DurBlobBytes: 128,
+
+		JobsCount:       64,
+		JobsWorkers:     4,
+		JobsClients:     4,
+		JobsServiceTime: 5 * time.Millisecond,
 	}
 }
 
@@ -156,6 +167,9 @@ func PaperScale() Scale {
 	s.GateClients = 64
 	s.GateRequests = 50
 	s.DurObjects = 1000000
+	s.JobsCount = 512
+	s.JobsWorkers = 16
+	s.JobsClients = 16
 	return s
 }
 
@@ -180,6 +194,7 @@ var Experiments = []struct {
 	{"fig10", Fig10},
 	{"gateway", FigGate},
 	{"durable", FigDurable},
+	{"jobs", FigJobs},
 }
 
 // Run executes one experiment by id.

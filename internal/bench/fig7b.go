@@ -53,7 +53,7 @@ func Fig7b(s Scale) (Result, error) {
 		)
 	}
 	res.Notes = append(res.Notes,
-		"paper numbers are for 500 links at 21.3 ms RTT; scale knobs may differ (see EXPERIMENTS.md)",
+		"paper numbers are for 500 links at 21.3 ms RTT; scale knobs may differ (see BENCHMARKS.md)",
 		"Fixpoint ships the whole chain as one Fix object; Ray resolves each link at the client")
 	return res, nil
 }

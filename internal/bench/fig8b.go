@@ -84,7 +84,7 @@ func Fig8b(s Scale) (Result, error) {
 
 	res.Notes = append(res.Notes,
 		"chunks scattered round-robin for Fixpoint/Ray; stored in the MinIO analog for Pheromone/OpenWhisk",
-		"modeled per-chunk compute restores the full-scale compute/transfer ratio (EXPERIMENTS.md)")
+		"modeled per-chunk compute restores the full-scale compute/transfer ratio (BENCHMARKS.md)")
 	return res, nil
 }
 

@@ -1,0 +1,354 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/durable"
+	"fixgo/internal/gateway"
+	"fixgo/internal/jobs"
+	"fixgo/internal/runtime"
+	"fixgo/internal/store"
+)
+
+// FigJobs is the asynchronous job-lifecycle experiment (this
+// reproduction's own, not a paper figure): what does decoupling
+// submission from execution buy, and what does a restart cost?
+//
+// Phase one compares sync and async submission of the same N unique
+// jobs at matched backend concurrency. The sync path's closed-loop
+// clients each hold an HTTP connection for a full evaluation, so client-
+// perceived submission latency IS the service time; the async path
+// returns 202 as soon as the job is journaled, so the same clients
+// accept work orders of magnitude faster and the worker pool drains at
+// the backend's pace. Phase two half-drains a journaled queue, kills
+// the gateway, reboots it from the journal + durable store, and
+// measures recovery: resumed pending jobs drain to completion, and jobs
+// that finished before the kill are re-served without re-executing
+// (their results replay from the jobs journal).
+func FigJobs(s Scale) (Result, error) {
+	res := Result{ID: "jobs", Title: "async job lifecycle: submit throughput and restart recovery"}
+	n := s.JobsCount
+	if n <= 0 {
+		n = 64
+	}
+	workers := s.JobsWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	clients := s.JobsClients
+	if clients <= 0 {
+		clients = workers
+	}
+	service := s.JobsServiceTime
+	if service <= 0 {
+		service = 5 * time.Millisecond
+	}
+
+	// --- Phase one: sync vs async at matched concurrency. -------------
+	var evals atomic.Int64
+	newBackend := func(st *store.Store) gateway.Backend {
+		reg := runtime.NewRegistry()
+		reg.RegisterFunc("jwork", func(api core.API, input core.Handle) (core.Handle, error) {
+			entries, err := api.AttachTree(input)
+			if err != nil {
+				return core.Handle{}, err
+			}
+			b, err := api.AttachBlob(entries[2])
+			if err != nil {
+				return core.Handle{}, err
+			}
+			time.Sleep(service)
+			evals.Add(1)
+			v, _ := core.DecodeU64(b)
+			return api.CreateBlob(core.LiteralU64(v + 1).LiteralData()), nil
+		})
+		return gateway.NewEngineBackend(runtime.New(st, runtime.Options{
+			Cores:    workers,
+			Registry: reg,
+		}))
+	}
+
+	serve := func(opts gateway.Options) (*gateway.Server, *gateway.Client, func(), error) {
+		srv, err := gateway.NewServer(opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, nil, nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(l) }()
+		stop := func() {
+			hs.Close()
+			srv.Close()
+		}
+		return srv, gateway.NewClient("http://" + l.Addr().String()), stop, nil
+	}
+
+	buildJob := func(c *gateway.Client, arg uint64) (core.Handle, error) {
+		ctx := context.Background()
+		fn, err := c.PutBlob(ctx, core.NativeFunctionBlob("jwork"))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		tree, err := c.PutTree(ctx, core.InvocationTree(core.DefaultLimits.Handle(), fn, core.LiteralU64(arg)))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return core.Application(tree)
+	}
+
+	// Sync: C closed-loop clients push N unique jobs; each request holds
+	// its connection for the whole evaluation.
+	{
+		_, c, stop, err := serve(gateway.Options{
+			Backend:      newBackend(store.New()),
+			CacheEntries: 4096,
+			MaxInFlight:  workers,
+			MaxQueue:     n,
+		})
+		if err != nil {
+			return res, err
+		}
+		hs, err := prepareJobs(c, buildJob, n)
+		if err != nil {
+			stop()
+			return res, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		var failed atomic.Int64
+		next := atomic.Int64{}
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if _, err := c.Submit(context.Background(), hs[i]); err != nil {
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		stop()
+		if failed.Load() > 0 {
+			return res, fmt.Errorf("bench: jobs sync: %d submissions failed", failed.Load())
+		}
+		res.Rows = append(res.Rows, Row{
+			System:   fmt.Sprintf("sync submit, %d clients", clients),
+			Measured: wall,
+			Detail:   fmt.Sprintf("%.0f jobs/s completed, connection held per job", float64(n)/wall.Seconds()),
+		})
+	}
+
+	// Async: the same clients fire all N submissions (202s), then await
+	// the drain by the same-sized worker pool.
+	{
+		_, c, stop, err := serve(gateway.Options{
+			Backend:         newBackend(store.New()),
+			CacheEntries:    4096,
+			MaxInFlight:     workers,
+			AsyncWorkers:    workers,
+			AsyncQueueDepth: n + 1,
+		})
+		if err != nil {
+			return res, err
+		}
+		hs, err := prepareJobs(c, buildJob, n)
+		if err != nil {
+			stop()
+			return res, err
+		}
+		ids := make([]string, n)
+		start := time.Now()
+		var wg sync.WaitGroup
+		var failed atomic.Int64
+		next := atomic.Int64{}
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					js, err := c.SubmitAsync(context.Background(), hs[i])
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					ids[i] = js.ID
+				}
+			}()
+		}
+		wg.Wait()
+		accepted := time.Since(start)
+		for _, id := range ids {
+			if id == "" {
+				continue
+			}
+			if _, err := c.AwaitJob(context.Background(), id); err != nil {
+				failed.Add(1)
+			}
+		}
+		wall := time.Since(start)
+		stop()
+		if failed.Load() > 0 {
+			return res, fmt.Errorf("bench: jobs async: %d submissions failed", failed.Load())
+		}
+		res.Rows = append(res.Rows, Row{
+			System:   "async submit (202 acceptance)",
+			Measured: accepted,
+			Detail:   fmt.Sprintf("%.0f jobs/s accepted; clients free after journaling", float64(n)/accepted.Seconds()),
+		})
+		res.Rows = append(res.Rows, Row{
+			System:   fmt.Sprintf("async submit+drain, %d workers", workers),
+			Measured: wall,
+			Detail:   fmt.Sprintf("drained at %.0f jobs/s by the worker pool", float64(n)/wall.Seconds()),
+		})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"async acceptance finished in %s vs %s of evaluation wall: submission latency decoupled from service time",
+			fmtDur(accepted), fmtDur(wall)))
+	}
+
+	// --- Phase two: restart recovery of a half-drained queue. ---------
+	dir, err := os.MkdirTemp("", "fixbench-jobs-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "data")
+	journal := filepath.Join(dir, "jobs.journal")
+
+	bootDurable := func() (*gateway.Server, *gateway.Client, func(), error) {
+		st := store.New()
+		d, _, err := durable.Attach(dataDir, durable.Options{}, st)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srv, c, stop, err := serve(gateway.Options{
+			Backend:         newBackend(st),
+			CacheEntries:    4096,
+			MaxInFlight:     workers,
+			AsyncWorkers:    workers,
+			AsyncQueueDepth: n + 1,
+			JobsJournalPath: journal,
+		})
+		if err != nil {
+			d.Close()
+			return nil, nil, nil, err
+		}
+		stopAll := func() {
+			stop()
+			d.Close()
+		}
+		return srv, c, stopAll, nil
+	}
+
+	srv, c, stop, err := bootDurable()
+	if err != nil {
+		return res, err
+	}
+	hs, err := prepareJobs(c, buildJob, n)
+	if err != nil {
+		stop()
+		return res, err
+	}
+	for i, h := range hs {
+		if _, err := c.SubmitAsync(context.Background(), h); err != nil {
+			stop()
+			return res, fmt.Errorf("bench: jobs restart: submit %d: %w", i, err)
+		}
+	}
+	// Let the pool drain roughly half the queue, then "kill" the
+	// gateway mid-flight.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := srv.Stats()
+		if st.Jobs != nil && st.Jobs.Done >= n/2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop()
+			return res, fmt.Errorf("bench: jobs restart: queue never half-drained")
+		}
+		time.Sleep(service / 2)
+	}
+	stop()
+	// stop() abandons in-flight evaluations rather than waiting for
+	// them; give those stragglers (each one modeled sleep deep) time to
+	// land before snapshotting, or they would inflate the re-executed
+	// count attributed to the restart.
+	time.Sleep(2*service + 20*time.Millisecond)
+	evalsAtKill := evals.Load()
+
+	start := time.Now()
+	srv2, c2, stop2, err := bootDurable()
+	if err != nil {
+		return res, err
+	}
+	defer stop2()
+	replayed := srv2.Stats().Jobs
+	for _, h := range hs {
+		id := jobs.JobID("default", asyncJobID(h))
+		if _, err := c2.AwaitJob(context.Background(), id); err != nil {
+			return res, fmt.Errorf("bench: jobs restart: await after reboot: %w", err)
+		}
+	}
+	recovery := time.Since(start)
+	reExecuted := evals.Load() - evalsAtKill
+	res.Rows = append(res.Rows, Row{
+		System:   "restart recovery, half-drained queue",
+		Measured: recovery,
+		Detail: fmt.Sprintf("%d jobs replayed, %d resumed, %d re-executed post-restart",
+			replayed.Replayed, replayed.Resumed, reExecuted),
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d unique jobs, %v modeled service time, %d async workers, %d closed-loop clients",
+			n, service, workers, clients),
+		"restart row: async submit N jobs, kill the gateway once half are done, reboot from the jobs journal + durable store, await all; completed jobs re-serve from the journal without re-executing",
+	)
+	return res, nil
+}
+
+// prepareJobs uploads the shared function blob once and builds n unique
+// job handles.
+func prepareJobs(c *gateway.Client, buildJob func(*gateway.Client, uint64) (core.Handle, error), n int) ([]core.Handle, error) {
+	hs := make([]core.Handle, n)
+	for i := range hs {
+		h, err := buildJob(c, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		hs[i] = h
+	}
+	return hs, nil
+}
+
+// asyncJobID maps a submitted handle to the job-queue identity the
+// gateway derives for it (bare Thunks are wrapped in a Strict Encode on
+// submission).
+func asyncJobID(h core.Handle) core.Handle {
+	if h.RefKind() == core.RefThunk {
+		h, _ = core.Strict(h)
+	}
+	return h
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigJobs checks the experiment's acceptance properties: async
+// submission acceptance must be decoupled from (i.e. much faster than)
+// sync completion at matched concurrency, and the restart row must show
+// the half-drained queue resuming.
+func TestFigJobs(t *testing.T) {
+	s := tinyScale()
+	s.JobsCount = 24
+	s.JobsWorkers = 2
+	s.JobsClients = 2
+	s.JobsServiceTime = 5 * time.Millisecond
+
+	res, err := FigJobs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (sync, acceptance, drain, restart)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s: no measurement", r.System)
+		}
+	}
+	syncWall := res.Rows[0].Measured
+	acceptance := res.Rows[1].Measured
+	// 24 jobs × 5ms over 2 slots ≈ 60ms of evaluation wall; accepting
+	// 24 journal appends must be far faster even under the race
+	// detector.
+	if acceptance*2 >= syncWall {
+		t.Errorf("async acceptance (%v) should be ≪ sync completion (%v)", acceptance, syncWall)
+	}
+	restart := res.Rows[3]
+	if !strings.Contains(restart.Detail, "resumed") || strings.Contains(restart.Detail, " 0 resumed") {
+		t.Errorf("restart row did not resume pending jobs: %q", restart.Detail)
+	}
+	t.Log("\n" + res.String())
+}

@@ -3,9 +3,10 @@
 // C source files in parallel invocations of a compiler function and
 // combines the outputs with a single linker invocation.
 //
-// Substitution (DESIGN.md #5): instead of porting libclang/liblld, compile
-// and link are deterministic pure transforms over the source bytes with a
-// configurable modeled compute time; the dataflow shape — wide fan-out
+// Substitution (ARCHITECTURE.md §Substitutions): instead of porting
+// libclang/liblld, compile and link are deterministic pure transforms
+// over the source bytes with a configurable modeled compute time; the
+// dataflow shape — wide fan-out
 // into a single wide fan-in whose inputs are intermediate results spread
 // across the cluster — is what the experiment measures.
 package buildsys

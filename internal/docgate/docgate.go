@@ -1,0 +1,8 @@
+// Package docgate is the documentation quality gate run by CI's docs
+// job. Its tests fail the build when an exported identifier in the
+// serving-tier packages (internal/jobs, internal/gateway) lacks a doc
+// comment, or when a relative link in the top-level markdown docs
+// (README.md, ARCHITECTURE.md, BENCHMARKS.md) points at a file that
+// does not exist. Keeping the gate as ordinary Go tests means it needs
+// no extra tooling in CI and runs in every local `go test ./...`.
+package docgate

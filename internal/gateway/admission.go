@@ -13,13 +13,18 @@ var ErrOverloaded = errors.New("gateway: overloaded: in-flight and queue limits 
 
 // AdmissionStats is a snapshot of admission-control counters.
 type AdmissionStats struct {
-	InFlight    int    `json:"in_flight"`
-	Waiting     int    `json:"waiting"`
-	MaxInFlight int    `json:"max_in_flight"`
-	MaxQueue    int    `json:"max_queue"`
-	Admitted    uint64 `json:"admitted"`
-	Queued      uint64 `json:"queued"`
-	Rejected    uint64 `json:"rejected"`
+	InFlight int `json:"in_flight"`
+	Waiting  int `json:"waiting"`
+	// WaitingAsync counts async workers parked in AcquireWait for a
+	// backend slot. They are outside the bounded shed queue (Waiting),
+	// but an operator reading jobs stats that show running > 0 with no
+	// backend progress needs to see where those workers are stalled.
+	WaitingAsync int    `json:"waiting_async"`
+	MaxInFlight  int    `json:"max_in_flight"`
+	MaxQueue     int    `json:"max_queue"`
+	Admitted     uint64 `json:"admitted"`
+	Queued       uint64 `json:"queued"`
+	Rejected     uint64 `json:"rejected"`
 }
 
 // admission bounds the number of concurrently evaluating jobs. Up to
@@ -37,9 +42,10 @@ type admission struct {
 	maxQueue    int
 	maxInFlight int
 
-	admitted atomic.Uint64
-	queued   atomic.Uint64
-	rejected atomic.Uint64
+	admitted     atomic.Uint64
+	queued       atomic.Uint64
+	rejected     atomic.Uint64
+	asyncWaiting atomic.Int64
 }
 
 func newAdmission(maxInFlight, maxQueue int) *admission {
@@ -82,7 +88,25 @@ func (a *admission) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release returns a slot claimed by Acquire.
+// AcquireWait claims a slot, waiting as long as ctx allows and
+// bypassing the bounded shed queue. It serves the async worker pool: an
+// async job was already admitted (202, journaled) at submission, so
+// under overload it must wait for backend capacity rather than be shed
+// and burn its retry budget — the pool size itself bounds how many such
+// waiters can exist. On success the caller must Release.
+func (a *admission) AcquireWait(ctx context.Context) error {
+	a.asyncWaiting.Add(1)
+	defer a.asyncWaiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire or AcquireWait.
 func (a *admission) Release() { <-a.slots }
 
 // Stats snapshots the counters.
@@ -91,12 +115,13 @@ func (a *admission) Stats() AdmissionStats {
 	waiting := a.waiting
 	a.mu.Unlock()
 	return AdmissionStats{
-		InFlight:    len(a.slots),
-		Waiting:     waiting,
-		MaxInFlight: a.maxInFlight,
-		MaxQueue:    a.maxQueue,
-		Admitted:    a.admitted.Load(),
-		Queued:      a.queued.Load(),
-		Rejected:    a.rejected.Load(),
+		InFlight:     len(a.slots),
+		Waiting:      waiting,
+		WaitingAsync: int(a.asyncWaiting.Load()),
+		MaxInFlight:  a.maxInFlight,
+		MaxQueue:     a.maxQueue,
+		Admitted:     a.admitted.Load(),
+		Queued:       a.queued.Load(),
+		Rejected:     a.rejected.Load(),
 	}
 }

@@ -90,9 +90,15 @@ func cacheKey(h core.Handle) core.Handle {
 }
 
 // Do returns the cached result for h, or joins an in-flight evaluation,
-// or — if it is the first to ask — runs eval and publishes the outcome.
-// Errors are never cached: every collapsed waiter of a failed flight
-// receives the error, and the next submission retries.
+// or — if it is the first to ask — starts eval and waits for its
+// outcome. Errors are never cached: every collapsed waiter of a failed
+// flight receives the error, and the next submission retries.
+//
+// The evaluation runs in its own goroutine and always publishes the
+// flight, even when the leader abandons the wait (client disconnect,
+// async job cancelled): collapsed waiters may be riding on it, and the
+// deterministic answer is worth caching regardless. Every caller —
+// leader included — is therefore governed only by its own ctx.
 func (c *resultCache) Do(ctx context.Context, h core.Handle, eval func() (core.Handle, error)) (core.Handle, CacheOutcome, error) {
 	k := cacheKey(h)
 	c.mu.Lock()
@@ -118,27 +124,35 @@ func (c *resultCache) Do(ctx context.Context, h core.Handle, eval func() (core.H
 	c.misses++
 	c.mu.Unlock()
 
-	// Publish in a defer: if eval panics (net/http recovers handler
-	// panics and keeps serving), the flight must still be torn down or
-	// every later submission of this handle would block on it forever.
-	completed := false
-	defer func() {
-		if !completed {
-			f.err = fmt.Errorf("gateway: evaluation of %v panicked", k)
-		}
-		c.mu.Lock()
-		delete(c.inflight, k)
-		if f.err == nil {
-			c.insertLocked(k, f.result)
-		} else {
-			c.errors++
-		}
-		c.mu.Unlock()
-		close(f.done)
+	go func() {
+		// Publish in a defer: if eval panics, the flight must still be
+		// torn down (as a failed flight) or every later submission of
+		// this handle would block on it forever.
+		completed := false
+		defer func() {
+			if !completed {
+				_ = recover()
+				f.err = fmt.Errorf("gateway: evaluation of %v panicked", k)
+			}
+			c.mu.Lock()
+			delete(c.inflight, k)
+			if f.err == nil {
+				c.insertLocked(k, f.result)
+			} else {
+				c.errors++
+			}
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.result, f.err = eval()
+		completed = true
 	}()
-	f.result, f.err = eval()
-	completed = true
-	return f.result, OutcomeMiss, f.err
+	select {
+	case <-f.done:
+		return f.result, OutcomeMiss, f.err
+	case <-ctx.Done():
+		return core.Handle{}, OutcomeMiss, ctx.Err()
+	}
 }
 
 func (c *resultCache) insertLocked(k core.Handle, result core.Handle) {

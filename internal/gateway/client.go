@@ -51,6 +51,7 @@ type StatusError struct {
 	Message string
 }
 
+// Error renders the status and the gateway's error message.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("gateway: HTTP %d: %s", e.Code, e.Message)
 }
@@ -149,21 +150,8 @@ func (c *Client) BlobBytes(ctx context.Context, h core.Handle) ([]byte, error) {
 
 // Stats fetches the gateway's counters.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
-	if err != nil {
-		return Stats{}, err
-	}
-	c.stamp(req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return Stats{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return Stats{}, decodeError(resp)
-	}
 	var st Stats
-	return st, json.NewDecoder(resp.Body).Decode(&st)
+	return st, c.get(ctx, "/v1/stats", &st)
 }
 
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
@@ -178,7 +166,8 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	// 200 for completed work, 202 for an accepted async submission.
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return decodeError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"fixgo/internal/core"
+	"fixgo/internal/durable"
+	"fixgo/internal/jobs"
 )
 
 // Options configures a gateway Server.
@@ -36,6 +38,24 @@ type Options struct {
 	// failure count (store.Store.PersistErrors) so silent durability
 	// loss is visible in /v1/stats and /metrics.
 	PersistErrors func() uint64
+	// AsyncWorkers sizes the asynchronous job-lifecycle worker pool
+	// (internal/jobs). 0 disables the async endpoints (501).
+	AsyncWorkers int
+	// AsyncQueueDepth bounds pending async jobs before submissions shed
+	// with 429 (default 1024).
+	AsyncQueueDepth int
+	// AsyncMaxAttempts bounds evaluation attempts before an async job
+	// dead-letters (default 3).
+	AsyncMaxAttempts int
+	// JobsJournalPath, when non-empty, makes the async queue durable:
+	// transitions journal there and replay on restart (usually
+	// <data-dir>/jobs.journal next to the durable store).
+	JobsJournalPath string
+	// JobsFsync selects the jobs journal's durability policy.
+	JobsFsync durable.FsyncPolicy
+	// TenantWeight, when set, maps a tenant to its fair-dequeue weight
+	// in the async queue (unset tenants weigh 1).
+	TenantWeight func(tenant string) int
 	// Logf, when set, receives one line per request error.
 	Logf func(format string, args ...any)
 }
@@ -57,10 +77,11 @@ func (o Options) withDefaults() Options {
 }
 
 // Server is the HTTP serving frontend. Create with NewServer, mount via
-// Handler.
+// Handler, release with Close.
 type Server struct {
 	opts  Options
-	cache *resultCache // nil when disabled
+	cache *resultCache  // nil when disabled
+	jobs  *jobs.Manager // nil when async serving is disabled
 	adm   *admission
 	mux   *http.ServeMux
 
@@ -87,8 +108,11 @@ type Stats struct {
 	JobsFail  uint64         `json:"jobs_failed"`
 	// PersistErrors counts failed durable write-throughs on the backing
 	// store (0 when persistence is not configured).
-	PersistErrors uint64                  `json:"persist_errors"`
-	Tenants       map[string]*TenantStats `json:"tenants"`
+	PersistErrors uint64 `json:"persist_errors"`
+	// Jobs is the async queue's snapshot (nil when async serving is
+	// disabled): depth, oldest-pending age, per-state counters.
+	Jobs    *jobs.Stats             `json:"jobs,omitempty"`
+	Tenants map[string]*TenantStats `json:"tenants"`
 }
 
 // NewServer builds a gateway over opts.Backend.
@@ -105,11 +129,37 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.CacheEntries > 0 {
 		s.cache = newResultCache(opts.CacheEntries)
 	}
+	if opts.AsyncWorkers > 0 {
+		m, err := jobs.New(jobs.Options{
+			// The worker pool drains into the same evaluate path the
+			// sync handlers use, so async jobs share the result cache,
+			// single-flight collapsing, and admission bounds.
+			Eval: func(ctx context.Context, h core.Handle) (core.Handle, error) {
+				res, _, err := s.evaluate(ctx, h, s.adm.AcquireWait)
+				return res, err
+			},
+			Workers:     opts.AsyncWorkers,
+			MaxQueue:    opts.AsyncQueueDepth,
+			MaxAttempts: opts.AsyncMaxAttempts,
+			Weight:      opts.TenantWeight,
+			JournalPath: opts.JobsJournalPath,
+			Fsync:       opts.JobsFsync,
+			Logf:        opts.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = m
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/blobs", s.handlePutBlob)
 	mux.HandleFunc("GET /v1/blobs/{handle}", s.handleGetBlob)
 	mux.HandleFunc("POST /v1/trees", s.handlePutTree)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -118,6 +168,20 @@ func NewServer(opts Options) (*Server, error) {
 
 // Handler returns the gateway's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Jobs exposes the async job manager (nil when disabled) — the boot path
+// in cmd/fixgate reads its recovery stats.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close stops the async worker pool and closes the jobs journal; pending
+// jobs stay journaled and resume on the next boot. The HTTP handler must
+// not be used after Close.
+func (s *Server) Close() error {
+	if s.jobs != nil {
+		return s.jobs.Close()
+	}
+	return nil
+}
 
 // Warm pre-populates the result cache with a known (job → result)
 // memoization — the boot path for a gateway restarted against a durable
@@ -149,6 +213,10 @@ func (s *Server) Stats() Stats {
 	if s.opts.PersistErrors != nil {
 		out.PersistErrors = s.opts.PersistErrors()
 	}
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		out.Jobs = &js
+	}
 	for name, t := range s.tenants {
 		cp := *t
 		out.Tenants[name] = &cp
@@ -157,10 +225,7 @@ func (s *Server) Stats() Stats {
 }
 
 func (s *Server) tenant(r *http.Request) *TenantStats {
-	name := r.Header.Get(TenantHeader)
-	if name == "" {
-		name = "default"
-	}
+	name := tenantName(r)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.tenants[name]
@@ -289,6 +354,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		return
 	}
+	if wantsAsync(r) {
+		if !s.requireJobs(w) {
+			return
+		}
+		s.handleSubmitAsync(w, r, t, req)
+		return
+	}
 	h, err := ParseHandle(req.Handle)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -300,7 +372,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	result, outcome, err := s.evaluate(r, h)
+	result, outcome, err := s.evaluate(r.Context(), h, s.adm.Acquire)
 	elapsed := time.Since(start)
 
 	s.mu.Lock()
@@ -347,15 +419,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // evaluate routes a submission through the result cache (hit or collapse
 // when possible) and admission control (only evaluations that actually
-// reach the backend take a slot).
-func (s *Server) evaluate(r *http.Request, h core.Handle) (core.Handle, CacheOutcome, error) {
-	ctx := r.Context()
+// reach the backend take a slot). Both the sync handlers (with the
+// request's context) and the async worker pool (with the job's context)
+// land here, so the two paths share one collapse domain. acquire selects
+// the admission discipline: the sync path's shedding Acquire, or the
+// async pool's AcquireWait (its work was already admitted with a 202,
+// so overload means waiting, not burning the job's retry budget).
+func (s *Server) evaluate(ctx context.Context, h core.Handle, acquire func(context.Context) error) (core.Handle, CacheOutcome, error) {
 	if h.IsData() {
 		// Data evaluates to itself; don't spend cache or slots on it.
 		return h, OutcomeHit, nil
 	}
 	if s.cache == nil {
-		if err := s.adm.Acquire(ctx); err != nil {
+		if err := acquire(ctx); err != nil {
 			return core.Handle{}, OutcomeBypass, err
 		}
 		defer s.adm.Release()
@@ -369,7 +445,7 @@ func (s *Server) evaluate(r *http.Request, h core.Handle) (core.Handle, CacheOut
 	// waiter's own ctx govern only its wait.
 	flightCtx := context.WithoutCancel(ctx)
 	return s.cache.Do(ctx, h, func() (core.Handle, error) {
-		if err := s.adm.Acquire(flightCtx); err != nil {
+		if err := acquire(flightCtx); err != nil {
 			return core.Handle{}, err
 		}
 		defer s.adm.Release()
@@ -397,12 +473,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cache_capacity", st.Cache.Capacity)
 	p("admission_in_flight", st.Admission.InFlight)
 	p("admission_waiting", st.Admission.Waiting)
+	p("admission_waiting_async", st.Admission.WaitingAsync)
 	p("admission_admitted_total", st.Admission.Admitted)
 	p("admission_queued_total", st.Admission.Queued)
 	p("admission_rejected_total", st.Admission.Rejected)
 	p("jobs_ok_total", st.JobsOK)
 	p("jobs_failed_total", st.JobsFail)
 	p("persist_errors_total", st.PersistErrors)
+	if st.Jobs != nil {
+		p("async_workers", st.Jobs.Workers)
+		p("async_queue_depth", st.Jobs.Depth)
+		p("async_running", st.Jobs.Running)
+		p("async_oldest_pending_age_seconds", float64(st.Jobs.OldestPendingAgeNS)/1e9)
+		p("async_jobs_done", st.Jobs.Done)
+		p("async_jobs_deadletter", st.Jobs.DeadLetter)
+		p("async_jobs_cancelled", st.Jobs.Cancelled)
+		p("async_enqueued_total", st.Jobs.Enqueued)
+		p("async_completed_total", st.Jobs.Completed)
+		p("async_failed_attempts_total", st.Jobs.Failed)
+		p("async_retried_total", st.Jobs.Retried)
+		p("async_cancelled_total", st.Jobs.CancelledTotal)
+		p("async_deduped_total", st.Jobs.Deduped)
+	}
 	names := make([]string, 0, len(st.Tenants))
 	for name := range st.Tenants {
 		names = append(names, name)

@@ -3,7 +3,7 @@
 //
 // Two implementations share one interface: an in-memory pipe with
 // configurable one-way latency and bandwidth (the simulated cluster fabric
-// used by the benchmark harness — see DESIGN.md substitution #3), and a
+// used by the benchmark harness — ARCHITECTURE.md §Substitutions), and a
 // TCP transport with length-prefixed frames for real deployments
 // (cmd/fixpoint, cmd/fixctl).
 package transport

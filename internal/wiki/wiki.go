@@ -3,11 +3,11 @@
 // across a sharded text corpus in map-reduce style, with count-string
 // invoked per chunk and merge-counts in a binary reduction.
 //
-// Substitution (DESIGN.md #4): instead of the 96 GiB English Wikipedia
-// dump, Chunk generates deterministic pseudo-text with the needle planted
-// at a seeded rate; chunk sizes are scaled down and the full-scale compute
-// cost is modeled by an optional per-byte work factor in the count
-// procedure.
+// Substitution (ARCHITECTURE.md §Substitutions): instead of the 96 GiB
+// English Wikipedia dump, Chunk generates deterministic pseudo-text with
+// the needle planted at a seeded rate; chunk sizes are scaled down and
+// the full-scale compute cost is modeled by an optional per-byte work
+// factor in the count procedure.
 package wiki
 
 import (
