@@ -42,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fixgo/internal/bptree"
 	"fixgo/internal/buildsys"
@@ -71,6 +72,8 @@ func main() {
 	gcBudgetMiB := flag.Int64("gc-budget-mib", 0, "durable pack budget in MiB before GC (0: unbounded)")
 	asyncWorkers := flag.Int("async-workers", 8, "async job worker pool size (0 disables the async endpoints)")
 	queueDepth := flag.Int("queue-depth", 1024, "pending async jobs before submissions shed with 429")
+	hbInterval := flag.Duration("hb-interval", time.Second, "worker heartbeat interval (0 disables failure detection)")
+	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a worker is evicted (default 4×hb-interval)")
 	flag.Parse()
 
 	reg := runtime.NewRegistry()
@@ -86,9 +89,11 @@ func main() {
 	clustered := *peers != "" || *clusterListen != ""
 	if clustered {
 		node = cluster.NewNode(*id, cluster.NodeOptions{
-			Cores:      1,
-			ClientOnly: true,
-			Registry:   reg,
+			Cores:             1,
+			ClientOnly:        true,
+			Registry:          reg,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatTimeout:  *hbTimeout,
 		})
 		for _, addr := range strings.Split(*peers, ",") {
 			addr = strings.TrimSpace(addr)

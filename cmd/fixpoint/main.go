@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fixgo/internal/bptree"
 	"fixgo/internal/buildsys"
@@ -42,6 +43,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the durable object/memo store (empty: in-memory only)")
 	fsync := flag.String("fsync", "interval", "durable fsync policy: always | interval | never")
 	gcBudgetMiB := flag.Int64("gc-budget-mib", 0, "durable pack budget in MiB before GC (0: unbounded)")
+	hbInterval := flag.Duration("hb-interval", time.Second, "peer heartbeat interval (0 disables failure detection)")
+	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a peer is evicted (default 4×hb-interval)")
 	flag.Parse()
 
 	if *id == "" {
@@ -55,11 +58,13 @@ func main() {
 	flatware.RegisterSeBS(reg)
 
 	node := cluster.NewNode(*id, cluster.NodeOptions{
-		Cores:       *cores,
-		MemoryBytes: *memGiB << 30,
-		InternalIO:  *internalIO,
-		NoLocality:  *noLocality,
-		Registry:    reg,
+		Cores:             *cores,
+		MemoryBytes:       *memGiB << 30,
+		InternalIO:        *internalIO,
+		NoLocality:        *noLocality,
+		Registry:          reg,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
 	})
 
 	if *dataDir != "" {

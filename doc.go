@@ -11,7 +11,8 @@
 //     packs + memo journal with CRC framing, replay, fsync policy, GC
 //   - internal/codelet   — FixVM, the sandboxed deterministic codelet VM
 //   - internal/runtime   — the Fixpoint engine (late-binding evaluator)
-//   - internal/cluster   — the distributed engine and dataflow-aware scheduler
+//   - internal/cluster   — the distributed engine and dataflow-aware scheduler:
+//     heartbeat failure detection, peer eviction, and job re-placement
 //   - internal/gateway   — the HTTP serving frontend (cmd/fixgate): result
 //     cache with single-flight collapsing, admission control, client SDK
 //   - internal/jobs      — the asynchronous job lifecycle: durable journaled

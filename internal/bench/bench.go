@@ -86,6 +86,15 @@ type Scale struct {
 	JobsWorkers     int           // async worker pool size (and backend concurrency)
 	JobsClients     int           // closed-loop submitting clients
 	JobsServiceTime time.Duration // modeled per-job compute
+
+	// Cluster fault-tolerance experiment (internal/cluster failover).
+	ClusterWorkers     int           // worker nodes behind the edge
+	ClusterClients     int           // closed-loop client goroutines
+	ClusterRequests    int           // unique jobs per client
+	ClusterKills       []int         // mid-run worker kill counts to sweep
+	ClusterServiceTime time.Duration // modeled per-job compute on a worker
+	ClusterLinkLatency time.Duration // edge ↔ worker propagation delay
+	ClusterHbInterval  time.Duration // heartbeat interval (timeout is 4×)
 }
 
 // DefaultScale is the quick configuration used by `go test -bench` and
@@ -146,6 +155,14 @@ func DefaultScale() Scale {
 		JobsWorkers:     4,
 		JobsClients:     4,
 		JobsServiceTime: 5 * time.Millisecond,
+
+		ClusterWorkers:     4,
+		ClusterClients:     8,
+		ClusterRequests:    25,
+		ClusterKills:       []int{0, 1, 2},
+		ClusterServiceTime: 10 * time.Millisecond,
+		ClusterLinkLatency: 300 * time.Microsecond,
+		ClusterHbInterval:  25 * time.Millisecond,
 	}
 }
 
@@ -170,6 +187,9 @@ func PaperScale() Scale {
 	s.JobsCount = 512
 	s.JobsWorkers = 16
 	s.JobsClients = 16
+	s.ClusterWorkers = 8
+	s.ClusterClients = 32
+	s.ClusterRequests = 50
 	return s
 }
 
@@ -195,6 +215,7 @@ var Experiments = []struct {
 	{"gateway", FigGate},
 	{"durable", FigDurable},
 	{"jobs", FigJobs},
+	{"cluster", FigCluster},
 }
 
 // Run executes one experiment by id.

@@ -165,7 +165,7 @@ func TestRunByID(t *testing.T) {
 	if _, err := Run("nope", tinyScale()); err == nil {
 		t.Fatal("unknown id should error")
 	}
-	if len(Experiments) != 9 {
+	if len(Experiments) != 10 {
 		t.Fatalf("experiments = %d", len(Experiments))
 	}
 }

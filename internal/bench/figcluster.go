@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/cluster"
+	"fixgo/internal/core"
+	"fixgo/internal/gateway"
+	"fixgo/internal/runtime"
+	"fixgo/internal/transport"
+)
+
+// FigCluster is the fault-tolerance experiment (this reproduction's own):
+// closed-loop clients submit unique jobs through a fixgate edge fronting
+// a worker mesh while 0, 1, or 2 workers are killed mid-run. Peer death
+// is detected by heartbeats / link errors, the dead node's adverts are
+// purged from the edge's object view, and every delegation stranded on a
+// killed worker is re-placed on a survivor — so the run must complete
+// every submitted job (zero lost evals) at every kill count. Reported
+// per configuration: mean completion latency (the table value),
+// throughput, p50/p99, and the edge's eviction/re-placement counters.
+func FigCluster(s Scale) (Result, error) {
+	res := Result{ID: "cluster", Title: "cluster fault tolerance: throughput and completion latency under worker kills"}
+	if len(s.ClusterKills) == 0 {
+		s.ClusterKills = []int{0, 1, 2}
+	}
+	for _, kills := range s.ClusterKills {
+		if kills >= s.ClusterWorkers {
+			return res, fmt.Errorf("bench: cluster config kills=%d needs more than %d workers", kills, s.ClusterWorkers)
+		}
+		row, note, err := clusterConfig(s, kills)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+		res.Notes = append(res.Notes, note)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d closed-loop clients × %d unique jobs, %d workers, %v service time, %v links, heartbeats %v/%v",
+			s.ClusterClients, s.ClusterRequests, s.ClusterWorkers, s.ClusterServiceTime,
+			s.ClusterLinkLatency, s.ClusterHbInterval, 4*s.ClusterHbInterval))
+	return res, nil
+}
+
+// clusterConfig runs one kill-count cell on a fresh gateway + mesh.
+func clusterConfig(s Scale, kills int) (Row, string, error) {
+	reg := runtime.NewRegistry()
+	reg.RegisterFunc("cwork", func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		b, err := api.AttachBlob(entries[2])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		time.Sleep(s.ClusterServiceTime)
+		v, _ := core.DecodeU64(b)
+		return api.CreateBlob(core.LiteralU64(v * 2).LiteralData()), nil
+	})
+
+	link := transport.LinkConfig{Latency: s.ClusterLinkLatency}
+	hb := cluster.NodeOptions{
+		HeartbeatInterval: s.ClusterHbInterval,
+		HeartbeatTimeout:  4 * s.ClusterHbInterval,
+	}
+	edge := cluster.NewNode("edge", cluster.NodeOptions{
+		Cores: 1, ClientOnly: true,
+		HeartbeatInterval: hb.HeartbeatInterval, HeartbeatTimeout: hb.HeartbeatTimeout,
+	})
+	defer edge.Close()
+	workers := make([]*cluster.Node, s.ClusterWorkers)
+	for i := range workers {
+		workers[i] = cluster.NewNode(fmt.Sprintf("w%d", i), cluster.NodeOptions{
+			Cores: 4, Registry: reg,
+			HeartbeatInterval: hb.HeartbeatInterval, HeartbeatTimeout: hb.HeartbeatTimeout,
+		})
+		defer workers[i].Close()
+		cluster.Connect(edge, workers[i], link)
+	}
+	cluster.FullMesh(link, workers...)
+
+	srv, err := gateway.NewServer(gateway.Options{
+		Backend:     edge,
+		MaxInFlight: s.ClusterClients,
+		MaxQueue:    s.ClusterClients * s.ClusterRequests, // never shed in-bench
+	})
+	if err != nil {
+		return Row{}, "", err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Row{}, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(l) }()
+	defer hs.Close()
+
+	ctx := context.Background()
+	c := gateway.NewClient("http://" + l.Addr().String())
+	fn, err := c.PutBlob(ctx, core.NativeFunctionBlob("cwork"))
+	if err != nil {
+		return Row{}, "", err
+	}
+	lim := core.DefaultLimits.Handle()
+
+	total := s.ClusterClients * s.ClusterRequests
+	latencies := make([]time.Duration, total)
+	var completed atomic.Int64
+	var failed atomic.Int64
+
+	// The kill schedule: worker k dies once (k+1)/(kills+1) of the run
+	// has completed, so every kill lands mid-flight with jobs both
+	// outstanding on and yet to be placed at the dying node.
+	killAt := make([]int64, kills)
+	for k := range killAt {
+		killAt[k] = int64(total) * int64(k+1) / int64(kills+1)
+	}
+	var killMu sync.Mutex
+	nextKill := 0
+	maybeKill := func() {
+		killMu.Lock()
+		defer killMu.Unlock()
+		done := completed.Load()
+		for nextKill < kills && done >= killAt[nextKill] {
+			workers[nextKill].Close()
+			nextKill++
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < s.ClusterClients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			// Stagger the closed loops across one service time so
+			// completions don't synchronize into waves — a kill must
+			// land while jobs are genuinely in flight.
+			time.Sleep(time.Duration(ci) * s.ClusterServiceTime / time.Duration(s.ClusterClients))
+			for ri := 0; ri < s.ClusterRequests; ri++ {
+				arg := uint64(ci*s.ClusterRequests + ri)
+				tree, err := c.PutTree(ctx, core.InvocationTree(lim, fn, core.LiteralU64(arg)))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				job, err := core.Application(tree)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				if _, err := c.Submit(ctx, job); err != nil {
+					failed.Add(1)
+					continue
+				}
+				latencies[ci*s.ClusterRequests+ri] = time.Since(t0)
+				completed.Add(1)
+				maybeKill()
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return Row{}, "", fmt.Errorf("bench: cluster config kills=%d lost %d of %d evals", kills, n, total)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[total/2]
+	p99 := latencies[total*99/100]
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	mean := sum / time.Duration(total)
+	thr := float64(total) / wall.Seconds()
+
+	ns := edge.NetStats()
+	row := Row{
+		System:   fmt.Sprintf("Fixgate cluster, %d worker kills", kills),
+		Measured: mean,
+		Detail:   fmt.Sprintf("%.0f req/s p50=%s p99=%s wall=%s", thr, fmtDur(p50), fmtDur(p99), fmtDur(wall)),
+	}
+	note := fmt.Sprintf("kills=%d: %d/%d completed, evicted=%d, replaced=%d, delegated=%d, replace_failures=%d",
+		kills, completed.Load(), total, ns.Evicted, ns.JobsReplaced, ns.JobsDelegated, ns.ReplaceFailures)
+	return row, note, nil
+}

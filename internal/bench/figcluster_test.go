@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFigCluster checks the experiment's acceptance property: every
+// submitted job completes at every kill count (zero lost evals — the
+// experiment itself errors on any loss), each killed worker shows up as
+// an eviction at the edge, and kills cost measurable re-placements or
+// throughput rather than correctness.
+func TestFigCluster(t *testing.T) {
+	s := tinyScale()
+	s.ClusterWorkers = 3
+	s.ClusterClients = 6
+	s.ClusterRequests = 8
+	s.ClusterKills = []int{0, 1}
+
+	res, err := FigCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (kill counts 0 and 1)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s: no measurement", r.System)
+		}
+	}
+	for _, kills := range s.ClusterKills {
+		prefix := fmt.Sprintf("kills=%d: ", kills)
+		found := false
+		for _, n := range res.Notes {
+			if !strings.HasPrefix(n, prefix) {
+				continue
+			}
+			found = true
+			total := s.ClusterClients * s.ClusterRequests
+			if !strings.Contains(n, fmt.Sprintf("%d/%d completed", total, total)) {
+				t.Errorf("kills=%d: incomplete run: %s", kills, n)
+			}
+			if !strings.Contains(n, fmt.Sprintf("evicted=%d", kills)) {
+				t.Errorf("kills=%d: eviction count mismatch: %s", kills, n)
+			}
+		}
+		if !found {
+			t.Errorf("no note for kills=%d: %v", kills, res.Notes)
+		}
+	}
+	t.Log("\n" + res.String())
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/runtime"
+	"fixgo/internal/transport"
+)
+
+// TestChaosFetchRetriesNextOwner pins the fetcher's owner failover: when
+// the first owner's link errors — at send time or after the request is
+// already in flight — the fetch must continue with the next owner
+// instead of failing.
+func TestChaosFetchRetriesNextOwner(t *testing.T) {
+	data := bytes.Repeat([]byte{9}, 512)
+
+	t.Run("send error moves to next owner", func(t *testing.T) {
+		client := NewNode("client", NodeOptions{Cores: 1, ClientOnly: true})
+		w1 := NewNode("w1", NodeOptions{Cores: 1})
+		w2 := NewNode("w2", NodeOptions{Cores: 1})
+		defer client.Close()
+		defer w1.Close()
+		defer w2.Close()
+		h := w1.Store().PutBlob(data)
+		w2.Store().PutBlob(data)
+
+		// client→w1: the Hello (send #1) passes, then the link
+		// hard-closes on the next send — the Request errors out.
+		pa, pb := transport.Pipe(fastLink())
+		ca := transport.Chaos(pa, transport.ChaosConfig{CloseAfter: 1})
+		client.AttachPeer(ca)
+		w1.AttachPeer(pb)
+		waitPeer(client, "w1")
+		waitPeer(w1, "client")
+		Connect(client, w2, fastLink())
+
+		got, err := client.ObjectBytes(context.Background(), h)
+		if err != nil {
+			t.Fatalf("fetch with broken first owner: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("fetched bytes mismatch")
+		}
+	})
+
+	t.Run("in-flight request survives owner death", func(t *testing.T) {
+		client := NewNode("client", NodeOptions{Cores: 1, ClientOnly: true})
+		// w1's heartbeats will notice the one-way partition (it hears
+		// nothing from the client) and close the link; the client's
+		// eviction of w1 then nudges the parked fetch onto w2.
+		w1 := NewNode("w1", hbOpts(NodeOptions{Cores: 1}))
+		w2 := NewNode("w2", NodeOptions{Cores: 1})
+		defer client.Close()
+		defer w1.Close()
+		defer w2.Close()
+		h := w1.Store().PutBlob(data)
+		w2.Store().PutBlob(data)
+
+		// client→w1 blackholes everything after the Hello: the Request
+		// "succeeds" at the sender but never arrives.
+		pa, pb := transport.Pipe(fastLink())
+		ca := transport.Chaos(pa, transport.ChaosConfig{DropAfter: 1})
+		client.AttachPeer(ca)
+		w1.AttachPeer(pb)
+		waitPeer(client, "w1")
+		waitPeer(w1, "client")
+		Connect(client, w2, fastLink())
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		got, err := client.ObjectBytes(ctx, h)
+		if err != nil {
+			t.Fatalf("fetch with blackholed first owner: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("fetched bytes mismatch")
+		}
+	})
+}
+
+// chaosEvent is one step of a fault schedule, applied before submitting
+// the job with the matching index.
+type chaosEvent struct {
+	beforeJob int
+	action    string // "kill" | "partition" | "reconnect"
+	worker    int
+}
+
+// chaosMesh is the chaos test harness: a client-only node fronting a
+// worker mesh, with the client side of every client↔worker link wrapped
+// in a seeded Chaos conn so schedules are reproducible.
+type chaosMesh struct {
+	t       *testing.T
+	client  *Node
+	workers []*Node
+	links   []*transport.ChaosConn // client-side conn per worker
+}
+
+func newChaosMesh(t *testing.T, seed int64, workers int) *chaosMesh {
+	t.Helper()
+	reg := runtime.NewRegistry()
+	reg.RegisterFunc("mul2", func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		b, err := api.AttachBlob(entries[2])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		v, err := core.DecodeU64(b)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return api.CreateBlob(core.LiteralU64(v * 2).LiteralData()), nil
+	})
+	m := &chaosMesh{
+		t:      t,
+		client: NewNode("client", hbOpts(NodeOptions{Cores: 1, ClientOnly: true, Seed: seed})),
+	}
+	for i := 0; i < workers; i++ {
+		w := NewNode(fmt.Sprintf("w%d", i), hbOpts(NodeOptions{Cores: 2, Registry: reg, Seed: seed + int64(i)}))
+		m.workers = append(m.workers, w)
+		m.links = append(m.links, m.connect(i, seed))
+	}
+	FullMesh(fastLink(), m.workers...)
+	return m
+}
+
+// connect links the client to worker i through a fresh seeded chaos conn.
+func (m *chaosMesh) connect(i int, seed int64) *transport.ChaosConn {
+	pa, pb := transport.Pipe(fastLink())
+	ca := transport.Chaos(pa, transport.ChaosConfig{
+		Seed:         seed + int64(i),
+		SpikeEvery:   7, // deterministic latency spikes for flavor
+		SpikeLatency: 2 * time.Millisecond,
+	})
+	m.client.AttachPeer(ca)
+	m.workers[i].AttachPeer(pb)
+	waitPeer(m.client, m.workers[i].id)
+	waitPeer(m.workers[i], m.client.id)
+	return ca
+}
+
+func (m *chaosMesh) apply(ev chaosEvent, seed int64) {
+	switch ev.action {
+	case "kill":
+		m.workers[ev.worker].Close()
+	case "partition":
+		m.links[ev.worker].Partition()
+	case "reconnect":
+		// Heal = a fresh link: the partitioned one was torn down by the
+		// deaf side's heartbeat eviction.
+		m.links[ev.worker] = m.connect(ev.worker, seed+100)
+	}
+}
+
+func (m *chaosMesh) close() {
+	m.client.Close()
+	for _, w := range m.workers {
+		w.Close()
+	}
+}
+
+// run submits jobs sequentially, applying the fault schedule, and
+// returns every result (failing the test on any lost eval).
+func runChaosSchedule(t *testing.T, seed int64, jobs int, schedule []chaosEvent) []uint64 {
+	t.Helper()
+	m := newChaosMesh(t, seed, 3)
+	defer m.close()
+	out := make([]uint64, jobs)
+	for i := 0; i < jobs; i++ {
+		for _, ev := range schedule {
+			if ev.beforeJob == i {
+				m.apply(ev, seed)
+			}
+		}
+		fn := m.client.Store().PutBlob(core.NativeFunctionBlob("mul2"))
+		tree, err := m.client.Store().PutTree(core.InvocationTree(core.DefaultLimits.Handle(), fn, core.LiteralU64(uint64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, _ := core.Application(tree)
+		enc, _ := core.Strict(th)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		data, err := m.client.EvalBlob(ctx, enc)
+		cancel()
+		if err != nil {
+			t.Fatalf("job %d lost under chaos schedule: %v", i, err)
+		}
+		out[i], _ = core.DecodeU64(data)
+	}
+	return out
+}
+
+// TestChaosScheduleDeterministic drives a kill/partition/heal schedule
+// against a client + 3-worker mesh under a fixed seed, twice: every
+// submitted job must complete both times (zero lost evals) with
+// identical results.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	const jobs = 12
+	schedule := []chaosEvent{
+		{beforeJob: 3, action: "partition", worker: 1}, // silent one-way loss
+		{beforeJob: 6, action: "kill", worker: 0},      // hard node death
+		{beforeJob: 9, action: "reconnect", worker: 1}, // heal the partition
+	}
+	first := runChaosSchedule(t, 42, jobs, schedule)
+	second := runChaosSchedule(t, 42, jobs, schedule)
+	for i := range first {
+		if want := uint64(i) * 2; first[i] != want {
+			t.Fatalf("job %d = %d, want %d", i, first[i], want)
+		}
+		if first[i] != second[i] {
+			t.Fatalf("runs diverge at job %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}

@@ -16,9 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fixgo/internal/core"
@@ -59,6 +59,19 @@ type NodeOptions struct {
 	Seed int64
 	// MaxEvalDepth passes through to the engine.
 	MaxEvalDepth int
+	// HeartbeatInterval enables failure detection: every interval the
+	// node pings each peer and evicts peers not heard from within
+	// HeartbeatTimeout. Zero disables heartbeats (peers are then evicted
+	// only on receive-loop errors, i.e. hard link closes).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the silence window after which a peer is
+	// declared dead (default 4×HeartbeatInterval). Any received message
+	// counts as liveness, not just Pongs.
+	HeartbeatTimeout time.Duration
+	// MaxReplacements bounds how many times a delegated job is re-placed
+	// after losing its worker before the node gives up (runs the job
+	// locally, or fails it when ClientOnly). Default 3.
+	MaxReplacements int
 }
 
 func (o NodeOptions) withDefaults() NodeOptions {
@@ -68,7 +81,61 @@ func (o NodeOptions) withDefaults() NodeOptions {
 	if o.PushLimit <= 0 {
 		o.PushLimit = 4096
 	}
+	if o.HeartbeatInterval > 0 && o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
+	if o.MaxReplacements <= 0 {
+		o.MaxReplacements = 3
+	}
 	return o
+}
+
+// ErrNoWorkers reports that a placement found no live worker peer and
+// the node cannot run the job itself (ClientOnly). A gateway fronting
+// the cluster maps it to 503 Service Unavailable.
+var ErrNoWorkers = errors.New("cluster: no live worker peers")
+
+// ErrNodeClosed reports an operation on a node after Close.
+var ErrNodeClosed = errors.New("cluster: node closed")
+
+// PeerLostError reports a delegation interrupted by the death of the
+// peer it was parked on; the scheduler reacts by re-placing the job.
+type PeerLostError struct {
+	// Peer is the dead peer's node identifier.
+	Peer string
+	// Cause is the failure that evicted the peer (receive error,
+	// heartbeat timeout, or send failure).
+	Cause error
+}
+
+// Error renders the lost peer and the eviction cause.
+func (e *PeerLostError) Error() string {
+	return fmt.Sprintf("cluster: peer %s lost: %v", e.Peer, e.Cause)
+}
+
+// Unwrap exposes the eviction cause.
+func (e *PeerLostError) Unwrap() error { return e.Cause }
+
+// NetStats is a node's failure-handling and delegation counters,
+// surfaced by the gateway at /v1/stats and /metrics.
+type NetStats struct {
+	// Peers is the current live peer count.
+	Peers int `json:"peers"`
+	// Evicted counts peers removed on link error or heartbeat timeout.
+	Evicted uint64 `json:"evicted"`
+	// HeartbeatsSent counts Ping probes sent.
+	HeartbeatsSent uint64 `json:"heartbeats_sent"`
+	// JobsDelegated counts jobs shipped to peers.
+	JobsDelegated uint64 `json:"jobs_delegated"`
+	// JobsReplaced counts delegations re-placed after their worker died.
+	JobsReplaced uint64 `json:"jobs_replaced"`
+	// JobsLocalFallback counts jobs evaluated locally as a last resort
+	// after delegation failed.
+	JobsLocalFallback uint64 `json:"jobs_local_fallback"`
+	// ReplaceFailures counts jobs that could not be re-placed at all
+	// (no surviving candidate, or the attempt bound was exhausted on a
+	// ClientOnly node).
+	ReplaceFailures uint64 `json:"replace_failures"`
 }
 
 // Node is one Fixpoint instance in a distributed deployment.
@@ -78,21 +145,30 @@ type Node struct {
 	st   *store.Store
 	eng  *runtime.Engine
 
+	done chan struct{} // closed by Close; stops the heartbeat loop
+
 	mu      sync.Mutex
 	peers   map[string]*peer
 	view    map[core.Handle]map[string]bool
 	fetchW  map[core.Handle]*fetchWait
-	jobW    map[core.Handle][]chan jobResult
+	jobW    map[core.Handle][]*jobWaiter
 	pending map[string]int // node id → jobs in flight there (scheduling load)
 	rng     *rand.Rand
 	closed  bool
+	net     NetStats // counters only; Peers is filled at snapshot time
 }
 
 type peer struct {
-	id     string
-	role   byte
-	conn   transport.Conn
-	sendMu sync.Mutex
+	id       string
+	role     byte
+	conn     transport.Conn
+	sendMu   sync.Mutex
+	lastSeen atomic.Int64 // UnixNano of the last received message
+
+	// Heartbeat-send state: pings go out on a goroutine so one stalled
+	// link cannot block failure detection for every other peer.
+	pingBusy  atomic.Bool
+	pingStart atomic.Int64 // UnixNano the in-flight ping send began
 }
 
 func (p *peer) send(m *proto.Message) error {
@@ -112,6 +188,14 @@ type jobResult struct {
 	err    error
 }
 
+// jobWaiter is one outstanding delegation: the channel its Offload call
+// waits on, pinned to the peer the job was shipped to so eviction can
+// fail exactly the delegations parked on the dead node.
+type jobWaiter struct {
+	ch     chan jobResult // buffered (cap 1); at most one delivery
+	peerID string
+}
+
 // NewNode creates a node with the given identifier.
 func NewNode(id string, opts NodeOptions) *Node {
 	opts = opts.withDefaults()
@@ -119,10 +203,11 @@ func NewNode(id string, opts NodeOptions) *Node {
 		id:      id,
 		opts:    opts,
 		st:      store.New(),
+		done:    make(chan struct{}),
 		peers:   make(map[string]*peer),
 		view:    make(map[core.Handle]map[string]bool),
 		fetchW:  make(map[core.Handle]*fetchWait),
-		jobW:    make(map[core.Handle][]chan jobResult),
+		jobW:    make(map[core.Handle][]*jobWaiter),
 		pending: make(map[string]int),
 		rng:     rand.New(rand.NewSource(opts.Seed ^ int64(fnvHash(id)))),
 	}
@@ -136,6 +221,9 @@ func NewNode(id string, opts NodeOptions) *Node {
 		Delegator:          n,
 		MaxEvalDepth:       opts.MaxEvalDepth,
 	})
+	if opts.HeartbeatInterval > 0 {
+		go n.heartbeatLoop()
+	}
 	return n
 }
 
@@ -162,17 +250,192 @@ func (n *Node) EvalBlob(ctx context.Context, h core.Handle) ([]byte, error) {
 	return n.eng.EvalBlob(withHops(ctx, 0), h)
 }
 
-// Close shuts down all peer links.
+// Close shuts down all peer links, stops the heartbeat loop, and fails
+// every outstanding delegation and fetch wait with ErrNodeClosed so no
+// Eval blocked on a peer hangs forever. Close is idempotent and safe to
+// call while receive loops and broadcasts are in flight.
 func (n *Node) Close() {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
 	n.closed = true
+	close(n.done)
 	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {
 		peers = append(peers, p)
 	}
+	// Clear the peer map so the recv loops' subsequent evictPeer calls
+	// no-op: a clean shutdown is not an eviction and must not inflate
+	// the Evicted counter (or leave NetStats().Peers nonzero).
+	n.peers = make(map[string]*peer)
+	var lost []*jobWaiter
+	for enc, ws := range n.jobW {
+		lost = append(lost, ws...)
+		delete(n.jobW, enc)
+	}
+	var waits []*fetchWait
+	for k, w := range n.fetchW {
+		delete(n.fetchW, k)
+		waits = append(waits, w)
+	}
 	n.mu.Unlock()
 	for _, p := range peers {
 		p.conn.Close()
+	}
+	for _, w := range lost {
+		w.ch <- jobResult{err: ErrNodeClosed}
+	}
+	for _, w := range waits {
+		w.err = ErrNodeClosed
+		close(w.done)
+	}
+}
+
+// evictPeer removes a dead peer: its link is closed, its entries leave
+// the passive object view (so the placer and fetcher stop routing to
+// it), its load accounting is dropped, delegations parked on it fail
+// with PeerLostError (triggering re-placement), and in-progress fetches
+// are nudged to try their next owner.
+func (n *Node) evictPeer(p *peer, cause error) {
+	n.mu.Lock()
+	if cur, ok := n.peers[p.id]; !ok || cur != p {
+		// Already evicted, or replaced by a newer link (reconnect).
+		n.mu.Unlock()
+		_ = p.conn.Close()
+		return
+	}
+	delete(n.peers, p.id)
+	n.net.Evicted++
+	lost := n.stripPeerLocked(p.id)
+	waits := make([]*fetchWait, 0, len(n.fetchW))
+	for _, w := range n.fetchW {
+		waits = append(waits, w)
+	}
+	n.mu.Unlock()
+
+	_ = p.conn.Close()
+	err := &PeerLostError{Peer: p.id, Cause: cause}
+	for _, w := range lost {
+		w.ch <- jobResult{err: err}
+	}
+	for _, w := range waits {
+		select {
+		case w.miss <- p.id:
+		default:
+		}
+	}
+}
+
+// stripPeerLocked removes every trace of a peer incarnation that can no
+// longer deliver: its object-view entries, its load accounting, and its
+// parked delegations (returned for the caller to fail outside the
+// lock). Callers hold n.mu.
+func (n *Node) stripPeerLocked(id string) []*jobWaiter {
+	for k, owners := range n.view {
+		if owners[id] {
+			delete(owners, id)
+			if len(owners) == 0 {
+				delete(n.view, k)
+			}
+		}
+	}
+	delete(n.pending, id)
+	var lost []*jobWaiter
+	for enc, ws := range n.jobW {
+		keep := ws[:0]
+		for _, w := range ws {
+			if w.peerID == id {
+				lost = append(lost, w)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(n.jobW, enc)
+		} else {
+			n.jobW[enc] = keep
+		}
+	}
+	return lost
+}
+
+// heartbeatLoop pings every peer each HeartbeatInterval and evicts peers
+// silent for longer than HeartbeatTimeout. Any received message counts
+// as liveness, so a busy link never needs its Pongs to win races.
+func (n *Node) heartbeatLoop() {
+	ticker := time.NewTicker(n.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		n.mu.Lock()
+		peers := make([]*peer, 0, len(n.peers))
+		for _, p := range n.peers {
+			peers = append(peers, p)
+		}
+		n.net.HeartbeatsSent += uint64(len(peers))
+		n.mu.Unlock()
+		ping := &proto.Message{Type: proto.TypePing, From: n.id}
+		for _, p := range peers {
+			if now.Sub(time.Unix(0, p.lastSeen.Load())) > n.opts.HeartbeatTimeout {
+				n.evictPeer(p, fmt.Errorf("no message within the %v heartbeat timeout", n.opts.HeartbeatTimeout))
+				continue
+			}
+			// Sends run off-loop so one stalled link (e.g. a TCP peer
+			// whose inbound side is alive but whose outbound buffer is
+			// full) cannot block pinging and timeout-evicting the rest.
+			// At most one ping send is in flight per peer; a send still
+			// stuck after a full timeout window is itself a failure.
+			if p.pingBusy.CompareAndSwap(false, true) {
+				p.pingStart.Store(now.UnixNano())
+				go func(p *peer) {
+					err := p.send(ping)
+					p.pingBusy.Store(false)
+					if err != nil {
+						n.evictPeer(p, fmt.Errorf("heartbeat send: %w", err))
+					}
+				}(p)
+			} else if now.Sub(time.Unix(0, p.pingStart.Load())) > n.opts.HeartbeatTimeout {
+				n.evictPeer(p, fmt.Errorf("heartbeat send stalled beyond the %v timeout", n.opts.HeartbeatTimeout))
+			}
+		}
+	}
+}
+
+// NetStats snapshots the node's failure-handling counters.
+func (n *Node) NetStats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.net
+	out.Peers = len(n.peers)
+	return out
+}
+
+// ViewOwners lists the peers the passive object view currently locates
+// h on (empty when no live peer is known to hold it).
+func (n *Node) ViewOwners(h core.Handle) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	owners := n.view[keyOf(h)]
+	out := make([]string, 0, len(owners))
+	for id := range owners {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (n *Node) isClosed() bool {
+	select {
+	case <-n.done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -229,19 +492,16 @@ func (n *Node) broadcast(m *proto.Message) {
 }
 
 func (n *Node) recvLoop(conn transport.Conn) {
-	var from string
+	var p *peer
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
-			if from != "" {
-				n.mu.Lock()
-				delete(n.peers, from)
-				n.mu.Unlock()
-			}
-			if !errors.Is(err, io.EOF) && !errors.Is(err, transport.ErrClosed) {
-				// Link failure: drop the peer silently; fetches fall
-				// back to other owners.
-				_ = err
+			// io.EOF and transport.ErrClosed are orderly shutdowns; any
+			// other error is a link failure. Either way the peer is
+			// gone: evict it so stranded delegations re-place and the
+			// view stops routing to it.
+			if p != nil {
+				n.evictPeer(p, err)
 			}
 			return
 		}
@@ -249,16 +509,42 @@ func (n *Node) recvLoop(conn transport.Conn) {
 		if err != nil {
 			continue // malformed frame: ignore
 		}
-		if from == "" {
+		if p == nil {
 			if m.Type != proto.TypeHello {
 				continue // protocol requires Hello first
 			}
-			from = m.From
-			p := &peer{id: from, role: m.Role, conn: conn}
+			np := &peer{id: m.From, role: m.Role, conn: conn}
+			np.lastSeen.Store(time.Now().UnixNano())
 			n.mu.Lock()
-			n.peers[from] = p
+			if n.closed {
+				n.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			old := n.peers[m.From]
+			n.peers[m.From] = np
+			var lost []*jobWaiter
+			if old != nil {
+				// A reconnect replaces the previous link. Delegations
+				// parked on the old incarnation can never complete (its
+				// replies are gone with the link), and evictPeer will
+				// no-op on it now that the map points at the new peer —
+				// so fail them here, and reset the old incarnation's
+				// view entries and load accounting. The fresh Hello's
+				// adverts repopulate the view right below.
+				lost = n.stripPeerLocked(m.From)
+			}
 			n.mu.Unlock()
+			if old != nil {
+				_ = old.conn.Close()
+				err := &PeerLostError{Peer: m.From, Cause: errors.New("peer reconnected; previous link abandoned")}
+				for _, w := range lost {
+					w.ch <- jobResult{err: err}
+				}
+			}
+			p = np
 		}
+		p.lastSeen.Store(time.Now().UnixNano())
 		n.handle(m)
 	}
 }
@@ -300,9 +586,18 @@ func (n *Node) handle(m *proto.Message) {
 		if m.Err != "" {
 			res.err = fmt.Errorf("cluster: remote job on %s failed: %s", m.From, m.Err)
 		}
-		for _, ch := range waiters {
-			ch <- res
+		for _, w := range waiters {
+			w.ch <- res
 		}
+	case proto.TypePing:
+		n.mu.Lock()
+		p := n.peers[m.From]
+		n.mu.Unlock()
+		if p != nil {
+			_ = p.send(&proto.Message{Type: proto.TypePong, From: n.id})
+		}
+	case proto.TypePong:
+		// Receipt alone is the signal; lastSeen already advanced.
 	}
 }
 
@@ -367,11 +662,7 @@ func (n *Node) serveJob(m *proto.Message) {
 	n.mu.Lock()
 	n.pending[n.id]++
 	n.mu.Unlock()
-	defer func() {
-		n.mu.Lock()
-		n.pending[n.id]--
-		n.mu.Unlock()
-	}()
+	defer n.pendingDec(n.id)
 	for _, p := range m.Pushed {
 		if err := n.st.PutObject(p.Handle, p.Data); err == nil {
 			n.mu.Lock()

@@ -3,6 +3,8 @@ package cluster
 import (
 	"context"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"sort"
 
 	"fixgo/internal/core"
@@ -21,6 +23,13 @@ type dep struct {
 // (bytes of dependencies not already at the candidate, plus the hinted
 // output size for non-local placements), and delegates to the cheapest
 // node — or declines (handled=false) when this node is already cheapest.
+//
+// Delegations survive worker death: when the owning peer is evicted
+// mid-flight, the job is re-placed on a surviving candidate (peers the
+// job already died on are excluded), up to MaxReplacements attempts.
+// Past the bound — or when no candidate survives — the job falls back to
+// local evaluation, except on a ClientOnly node, which cannot execute
+// and fails the job with an error wrapping ErrNoWorkers.
 func (n *Node) Offload(ctx context.Context, enc core.Handle) (core.Handle, bool, error) {
 	if hopsOf(ctx) >= n.opts.MaxHops {
 		return core.Handle{}, false, nil
@@ -28,24 +37,97 @@ func (n *Node) Offload(ctx context.Context, enc core.Handle) (core.Handle, bool,
 	if rec, ok := receivedOf(ctx); ok && rec == enc {
 		return core.Handle{}, false, nil
 	}
-	candidates, peerByID := n.candidates()
-	if len(candidates) == 0 || (len(candidates) == 1 && candidates[0] == n.id) {
+	if !n.anyWorkerPeer() {
+		if n.opts.ClientOnly {
+			return core.Handle{}, true, ErrNoWorkers
+		}
 		return core.Handle{}, false, nil
 	}
 	deps, hint, ok := n.jobDeps(enc)
 	if !ok {
 		return core.Handle{}, false, nil
 	}
-	target := n.pick(enc, candidates, deps, hint)
-	if target == n.id {
-		return core.Handle{}, false, nil
+	tried := make(map[string]bool) // peers this job already died on
+	replaced := 0
+	for {
+		if n.isClosed() {
+			return core.Handle{}, true, ErrNodeClosed
+		}
+		candidates, peerByID := n.candidates()
+		live := candidates[:0:0]
+		remote := false
+		for _, c := range candidates {
+			if tried[c] {
+				continue
+			}
+			live = append(live, c)
+			if c != n.id {
+				remote = true
+			}
+		}
+		if !remote {
+			// Every surviving worker already failed this job, or none
+			// survive at all.
+			if n.opts.ClientOnly {
+				n.noteNet(func(s *NetStats) { s.ReplaceFailures++ })
+				return core.Handle{}, true, fmt.Errorf("cluster: job has no surviving placement after %d attempts: %w", replaced+1, ErrNoWorkers)
+			}
+			if replaced > 0 {
+				n.noteNet(func(s *NetStats) { s.JobsLocalFallback++ })
+			}
+			return core.Handle{}, false, nil
+		}
+		target := n.pick(enc, live, deps, hint)
+		if target == n.id {
+			if replaced > 0 {
+				n.noteNet(func(s *NetStats) { s.JobsLocalFallback++ })
+			}
+			return core.Handle{}, false, nil
+		}
+		p := peerByID[target]
+		if p == nil {
+			tried[target] = true // raced away between snapshot and pick
+			continue
+		}
+		res, err := n.delegate(ctx, p, enc, deps)
+		var lost *PeerLostError
+		if err == nil || !errors.As(err, &lost) {
+			// Success, or a deterministic remote failure (the job itself
+			// errored): re-running elsewhere would fail the same way.
+			return res, true, err
+		}
+		// The worker died under the job. Re-place it on a survivor.
+		tried[target] = true
+		if replaced >= n.opts.MaxReplacements {
+			if n.opts.ClientOnly {
+				n.noteNet(func(s *NetStats) { s.ReplaceFailures++ })
+				return core.Handle{}, true, fmt.Errorf("cluster: job re-placement bound (%d) exhausted: %w", n.opts.MaxReplacements, err)
+			}
+			n.noteNet(func(s *NetStats) { s.JobsLocalFallback++ })
+			return core.Handle{}, false, nil
+		}
+		replaced++
+		n.noteNet(func(s *NetStats) { s.JobsReplaced++ })
 	}
-	p := peerByID[target]
-	if p == nil {
-		return core.Handle{}, false, nil
+}
+
+// anyWorkerPeer reports whether at least one live worker peer exists.
+func (n *Node) anyWorkerPeer() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		if p.role == proto.RoleWorker {
+			return true
+		}
 	}
-	res, err := n.delegate(ctx, p, enc, deps)
-	return res, true, err
+	return false
+}
+
+// noteNet updates the failure-handling counters under the node lock.
+func (n *Node) noteNet(f func(*NetStats)) {
+	n.mu.Lock()
+	f(&n.net)
+	n.mu.Unlock()
 }
 
 // candidates lists placement targets: worker peers plus this node (unless
@@ -199,19 +281,18 @@ func tieBreak(enc core.Handle, cand string) uint64 {
 
 // delegate ships the job to the chosen peer: the Encode handle plus the
 // cheap part of its definition closure (Trees, and Blobs up to PushLimit,
-// that the peer is not known to have), then waits for the Result.
+// that the peer is not known to have), then waits for the Result. A send
+// failure or the peer's eviction mid-wait surfaces as PeerLostError so
+// Offload can re-place the job.
 func (n *Node) delegate(ctx context.Context, p *peer, enc core.Handle, deps []dep) (core.Handle, error) {
 	pushed := n.pushSet(p.id, enc, deps)
-	ch := make(chan jobResult, 1)
+	w := &jobWaiter{ch: make(chan jobResult, 1), peerID: p.id}
 	n.mu.Lock()
-	n.jobW[enc] = append(n.jobW[enc], ch)
+	n.jobW[enc] = append(n.jobW[enc], w)
 	n.pending[p.id]++
+	n.net.JobsDelegated++
 	n.mu.Unlock()
-	defer func() {
-		n.mu.Lock()
-		n.pending[p.id]--
-		n.mu.Unlock()
-	}()
+	defer n.pendingDec(p.id)
 
 	msg := &proto.Message{
 		Type:   proto.TypeJob,
@@ -221,11 +302,11 @@ func (n *Node) delegate(ctx context.Context, p *peer, enc core.Handle, deps []de
 		Pushed: pushed,
 	}
 	if err := p.send(msg); err != nil {
-		n.dropJobWaiter(enc, ch)
-		return core.Handle{}, err
+		n.dropJobWaiter(enc, w)
+		return core.Handle{}, &PeerLostError{Peer: p.id, Cause: err}
 	}
 	select {
-	case res := <-ch:
+	case res := <-w.ch:
 		if res.err == nil {
 			n.mu.Lock()
 			n.viewAddLocked(res.result, p.id)
@@ -233,17 +314,31 @@ func (n *Node) delegate(ctx context.Context, p *peer, enc core.Handle, deps []de
 		}
 		return res.result, res.err
 	case <-ctx.Done():
-		n.dropJobWaiter(enc, ch)
+		n.dropJobWaiter(enc, w)
 		return core.Handle{}, ctx.Err()
 	}
 }
 
-func (n *Node) dropJobWaiter(enc core.Handle, ch chan jobResult) {
+// pendingDec drops one in-flight count for id, tolerating the entry
+// having been purged by an eviction in the meantime.
+func (n *Node) pendingDec(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v, ok := n.pending[id]; ok {
+		if v <= 1 {
+			delete(n.pending, id)
+		} else {
+			n.pending[id] = v - 1
+		}
+	}
+}
+
+func (n *Node) dropJobWaiter(enc core.Handle, w *jobWaiter) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ws := n.jobW[enc]
-	for i, w := range ws {
-		if w == ch {
+	for i, cand := range ws {
+		if cand == w {
 			n.jobW[enc] = append(ws[:i], ws[i+1:]...)
 			break
 		}

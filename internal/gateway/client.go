@@ -62,6 +62,15 @@ func IsOverloaded(err error) bool {
 	return ok && se.Code == http.StatusTooManyRequests
 }
 
+// IsUnavailable reports whether err is a 503 response — the cluster
+// behind the gateway has no live worker to run jobs on. Unlike a 429,
+// backing off does not help until workers return; unlike a 500, the job
+// itself is fine and can be resubmitted as-is later.
+func IsUnavailable(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusServiceUnavailable
+}
+
 // PutBlob uploads a Blob and returns its Handle.
 func (c *Client) PutBlob(ctx context.Context, data []byte) (core.Handle, error) {
 	var reply HandleReply

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"fixgo/internal/cluster"
 	"fixgo/internal/core"
 	"fixgo/internal/durable"
 	"fixgo/internal/jobs"
@@ -111,8 +112,18 @@ type Stats struct {
 	PersistErrors uint64 `json:"persist_errors"`
 	// Jobs is the async queue's snapshot (nil when async serving is
 	// disabled): depth, oldest-pending age, per-state counters.
-	Jobs    *jobs.Stats             `json:"jobs,omitempty"`
+	Jobs *jobs.Stats `json:"jobs,omitempty"`
+	// Cluster is the backend node's peer/failure-handling snapshot (nil
+	// when the backend is not a cluster node): live peers, evictions,
+	// heartbeats, job re-placements.
+	Cluster *cluster.NetStats       `json:"cluster,omitempty"`
 	Tenants map[string]*TenantStats `json:"tenants"`
+}
+
+// netStatser is the optional Backend facet a cluster node implements;
+// the gateway surfaces it in /v1/stats and /metrics when present.
+type netStatser interface {
+	NetStats() cluster.NetStats
 }
 
 // NewServer builds a gateway over opts.Backend.
@@ -216,6 +227,10 @@ func (s *Server) Stats() Stats {
 	if s.jobs != nil {
 		js := s.jobs.Stats()
 		out.Jobs = &js
+	}
+	if ns, ok := s.opts.Backend.(netStatser); ok {
+		cs := ns.NetStats()
+		out.Cluster = &cs
 	}
 	for name, t := range s.tenants {
 		cp := *t
@@ -394,6 +409,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrOverloaded):
 			s.fail(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, cluster.ErrNoWorkers):
+			// The cluster has no live worker to run the job: the typed
+			// "service degraded" answer, distinct from a job error.
+			s.fail(w, http.StatusServiceUnavailable, err)
 		case r.Context().Err() != nil:
 			s.fail(w, http.StatusGatewayTimeout, err)
 		default:
@@ -480,6 +499,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("jobs_ok_total", st.JobsOK)
 	p("jobs_failed_total", st.JobsFail)
 	p("persist_errors_total", st.PersistErrors)
+	if st.Cluster != nil {
+		p("cluster_peers", st.Cluster.Peers)
+		p("cluster_peers_evicted_total", st.Cluster.Evicted)
+		p("cluster_heartbeats_sent_total", st.Cluster.HeartbeatsSent)
+		p("cluster_jobs_delegated_total", st.Cluster.JobsDelegated)
+		p("cluster_jobs_replaced_total", st.Cluster.JobsReplaced)
+		p("cluster_jobs_local_fallback_total", st.Cluster.JobsLocalFallback)
+		p("cluster_replace_failures_total", st.Cluster.ReplaceFailures)
+	}
 	if st.Jobs != nil {
 		p("async_workers", st.Jobs.Workers)
 		p("async_queue_depth", st.Jobs.Depth)

@@ -29,6 +29,10 @@ const (
 	TypeJob
 	// TypeResult reports a delegated job's outcome.
 	TypeResult
+	// TypePing probes a peer's liveness (failure detection).
+	TypePing
+	// TypePong answers a Ping.
+	TypePong
 )
 
 // PushedObject is an object shipped inside a Job message.
@@ -91,6 +95,8 @@ func (m *Message) Encode() []byte {
 		buf = append(buf, m.Handle[:]...)
 		buf = append(buf, m.Result[:]...)
 		buf = appendString(buf, m.Err)
+	case TypePing, TypePong:
+		// Liveness probes carry only the sender identity.
 	}
 	return buf
 }
@@ -133,6 +139,8 @@ func Decode(data []byte) (*Message, error) {
 		m.Handle = d.handle()
 		m.Result = d.handle()
 		m.Err = d.str()
+	case TypePing, TypePong:
+		// No payload beyond the sender identity.
 	default:
 		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
 	}

@@ -89,6 +89,16 @@ func TestRequestMissingRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPingPongRoundTrip(t *testing.T) {
+	for _, typ := range []byte{TypePing, TypePong} {
+		m := &Message{Type: typ, From: "hb-node"}
+		got := roundTrip(t, m)
+		if got.Type != typ || got.From != "hb-node" {
+			t.Fatalf("type %d: got %+v", typ, got)
+		}
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	cases := [][]byte{
 		nil,
