@@ -26,7 +26,9 @@
 // cmd/fixpoint workers as a client-only node: uploads are advertised to
 // the cluster and each cache-missing job is placed by the node's
 // dataflow-aware scheduler. Without either, jobs run on an in-process
-// engine.
+// engine. With -replicas R ≥ 2 (matching the workers), uploads and eval
+// outputs are replicated onto R consistent-hash ring successors so they
+// survive worker loss (see OPERATIONS.md).
 //
 // Endpoints: POST /v1/blobs, GET /v1/blobs/{handle}, POST /v1/trees,
 // POST /v1/jobs (sync or ?mode=async), GET/DELETE /v1/jobs/{id},
@@ -74,6 +76,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 1024, "pending async jobs before submissions shed with 429")
 	hbInterval := flag.Duration("hb-interval", time.Second, "worker heartbeat interval (0 disables failure detection)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a worker is evicted (default 4×hb-interval)")
+	replicas := flag.Int("replicas", 1, "cluster replication factor R: writes are pushed to R-1 ring successors (1 disables replication)")
 	flag.Parse()
 
 	reg := runtime.NewRegistry()
@@ -94,6 +97,7 @@ func main() {
 			Registry:          reg,
 			HeartbeatInterval: *hbInterval,
 			HeartbeatTimeout:  *hbTimeout,
+			Replicas:          *replicas,
 		})
 		for _, addr := range strings.Split(*peers, ",") {
 			addr = strings.TrimSpace(addr)

@@ -10,6 +10,11 @@
 // Nodes exchange object advertisements on connect and thereafter delegate
 // jobs by data locality. Clients (cmd/fixctl) connect the same way.
 //
+// With -replicas R ≥ 2 (uniform across the cluster), every write is
+// pushed to R−1 consistent-hash ring successors and node loss triggers
+// an anti-entropy repair pass, so objects survive the death of any R−1
+// holders. See OPERATIONS.md for the runbook.
+//
 // With -data-dir, every object and memoization write-throughs to a
 // crash-recoverable store (internal/durable); a restarted node replays it
 // and serves previously evaluated thunks without re-executing them.
@@ -45,6 +50,7 @@ func main() {
 	gcBudgetMiB := flag.Int64("gc-budget-mib", 0, "durable pack budget in MiB before GC (0: unbounded)")
 	hbInterval := flag.Duration("hb-interval", time.Second, "peer heartbeat interval (0 disables failure detection)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a peer is evicted (default 4×hb-interval)")
+	replicas := flag.Int("replicas", 1, "cluster replication factor R: writes are pushed to R-1 ring successors (1 disables replication)")
 	flag.Parse()
 
 	if *id == "" {
@@ -65,6 +71,7 @@ func main() {
 		Registry:          reg,
 		HeartbeatInterval: *hbInterval,
 		HeartbeatTimeout:  *hbTimeout,
+		Replicas:          *replicas,
 	})
 
 	if *dataDir != "" {

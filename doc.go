@@ -12,12 +12,16 @@
 //   - internal/codelet   — FixVM, the sandboxed deterministic codelet VM
 //   - internal/runtime   — the Fixpoint engine (late-binding evaluator)
 //   - internal/cluster   — the distributed engine and dataflow-aware scheduler:
-//     heartbeat failure detection, peer eviction, and job re-placement
+//     heartbeat failure detection, peer eviction, job re-placement, and
+//     consistent-hash R-way object replication with anti-entropy repair
 //   - internal/gateway   — the HTTP serving frontend (cmd/fixgate): result
 //     cache with single-flight collapsing, admission control, client SDK
 //   - internal/jobs      — the asynchronous job lifecycle: durable journaled
 //     queue, per-tenant fair worker pool, retries, dead-letter, cancellation
-//   - internal/transport, internal/proto, internal/objstore — networking
+//   - internal/transport, internal/proto — links (simulated, TCP, chaos
+//     fault injection) and the node wire protocol
+//   - internal/objstore  — placement primitives (consistent-hash ring,
+//     replica tracker) and the simulated S3/MinIO-style store
 //   - internal/baselines — OpenWhisk/Ray/Pheromone/Faasm re-implementations
 //   - internal/flatware, internal/bptree, internal/wiki, internal/buildsys —
 //     the evaluation workloads
@@ -25,8 +29,9 @@
 //
 // See README.md for a tour and the HTTP API reference, ARCHITECTURE.md
 // for the package map, request-lifecycle walkthrough, and substitution
-// inventory, and BENCHMARKS.md for each experiment and its emitted
-// BENCH_*.json. The benchmarks in bench_test.go regenerate each figure:
+// inventory, OPERATIONS.md for the deployment runbook, and
+// BENCHMARKS.md for each experiment and its emitted BENCH_*.json. The
+// benchmarks in bench_test.go regenerate each figure:
 //
 //	go test -bench=. -benchmem
 package fixgo

@@ -95,6 +95,14 @@ type Scale struct {
 	ClusterServiceTime time.Duration // modeled per-job compute on a worker
 	ClusterLinkLatency time.Duration // edge ↔ worker propagation delay
 	ClusterHbInterval  time.Duration // heartbeat interval (timeout is 4×)
+
+	// Replicated-placement experiment (internal/cluster replication).
+	ReplWorkers     int           // worker nodes (one is killed per configuration)
+	ReplObjects     int           // objects written before the kill
+	ReplBlobBytes   int           // payload bytes per object
+	ReplFactors     []int         // replication factors R to sweep (e.g. 1, 2)
+	ReplLinkLatency time.Duration // inter-node propagation delay
+	ReplHbInterval  time.Duration // heartbeat interval (timeout is 4×)
 }
 
 // DefaultScale is the quick configuration used by `go test -bench` and
@@ -163,6 +171,13 @@ func DefaultScale() Scale {
 		ClusterServiceTime: 10 * time.Millisecond,
 		ClusterLinkLatency: 300 * time.Microsecond,
 		ClusterHbInterval:  25 * time.Millisecond,
+
+		ReplWorkers:     4,
+		ReplObjects:     96,
+		ReplBlobBytes:   4 << 10,
+		ReplFactors:     []int{1, 2},
+		ReplLinkLatency: 300 * time.Microsecond,
+		ReplHbInterval:  25 * time.Millisecond,
 	}
 }
 
@@ -190,6 +205,10 @@ func PaperScale() Scale {
 	s.ClusterWorkers = 8
 	s.ClusterClients = 32
 	s.ClusterRequests = 50
+	s.ReplWorkers = 8
+	s.ReplObjects = 1024
+	s.ReplBlobBytes = 64 << 10
+	s.ReplFactors = []int{1, 2, 3}
 	return s
 }
 
@@ -216,6 +235,7 @@ var Experiments = []struct {
 	{"durable", FigDurable},
 	{"jobs", FigJobs},
 	{"cluster", FigCluster},
+	{"replication", FigRepl},
 }
 
 // Run executes one experiment by id.

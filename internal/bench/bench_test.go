@@ -34,6 +34,9 @@ func tinyScale() Scale {
 	s.HeaderSize = 4 << 10
 	s.CompileTime = 2 * time.Millisecond
 	s.LinkTime = 5 * time.Millisecond
+	s.ReplWorkers = 3
+	s.ReplObjects = 24
+	s.ReplBlobBytes = 2 << 10
 	return s
 }
 
@@ -165,7 +168,7 @@ func TestRunByID(t *testing.T) {
 	if _, err := Run("nope", tinyScale()); err == nil {
 		t.Fatal("unknown id should error")
 	}
-	if len(Experiments) != 10 {
+	if len(Experiments) != 11 {
 		t.Fatalf("experiments = %d", len(Experiments))
 	}
 }

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/cluster"
+	"fixgo/internal/core"
+	"fixgo/internal/transport"
+)
+
+// FigRepl is the replicated-placement experiment (this reproduction's
+// own): objects are written round-robin onto a worker mesh, one worker
+// is killed, and a client-only edge then fetches every object back.
+// Swept over replication factors R, it measures what R-way ring
+// replication buys through node loss:
+//
+//   - fetch-failure rate: at R=1 every object whose only copy sat on the
+//     killed worker is gone (≈1/workers of the set); at R≥2 a ring
+//     successor holds a replica the fetcher locates deterministically,
+//     so no fetch fails;
+//   - repair convergence: how long after the kill the survivors'
+//     anti-entropy passes take to re-establish R copies of every
+//     surviving object on the new ring.
+//
+// The table value is the mean successful fetch latency; failures, repair
+// convergence time, and replication counters ride in the detail/notes.
+func FigRepl(s Scale) (Result, error) {
+	res := Result{ID: "replication", Title: "replicated placement: fetch availability and repair convergence through a worker kill"}
+	if len(s.ReplFactors) == 0 {
+		s.ReplFactors = []int{1, 2}
+	}
+	for _, r := range s.ReplFactors {
+		if r > s.ReplWorkers {
+			return res, fmt.Errorf("bench: replication factor %d exceeds %d workers", r, s.ReplWorkers)
+		}
+		row, note, err := replConfig(s, r)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+		res.Notes = append(res.Notes, note)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d objects × %d B written round-robin on %d workers, worker 0 killed before the fetch phase, %v links, heartbeats %v/%v",
+		s.ReplObjects, s.ReplBlobBytes, s.ReplWorkers, s.ReplLinkLatency, s.ReplHbInterval, 4*s.ReplHbInterval))
+	return res, nil
+}
+
+// replConfig runs one replication-factor cell on a fresh mesh.
+func replConfig(s Scale, r int) (Row, string, error) {
+	link := transport.LinkConfig{Latency: s.ReplLinkLatency}
+	opt := func(base cluster.NodeOptions) cluster.NodeOptions {
+		base.Replicas = r
+		base.HeartbeatInterval = s.ReplHbInterval
+		base.HeartbeatTimeout = 4 * s.ReplHbInterval
+		return base
+	}
+	edge := cluster.NewNode("edge", opt(cluster.NodeOptions{Cores: 1, ClientOnly: true}))
+	defer edge.Close()
+	workers := make([]*cluster.Node, s.ReplWorkers)
+	for i := range workers {
+		workers[i] = cluster.NewNode(fmt.Sprintf("w%d", i), opt(cluster.NodeOptions{Cores: 2}))
+		defer workers[i].Close()
+		cluster.Connect(edge, workers[i], link)
+	}
+	cluster.FullMesh(link, workers...)
+
+	// Write phase: unique payloads, round-robin across the workers, so
+	// exactly 1/workers of the set has its writer copy on the doomed
+	// node.
+	rng := rand.New(rand.NewSource(7))
+	handles := make([]core.Handle, s.ReplObjects)
+	for i := range handles {
+		payload := make([]byte, s.ReplBlobBytes)
+		rng.Read(payload)
+		handles[i] = workers[i%s.ReplWorkers].PutBlob(payload)
+	}
+
+	// Let the asynchronous replica pushes land before the kill: every
+	// object must reach R copies across the workers, or the kill races
+	// the very replication it is supposed to test.
+	workerCopies := func(h core.Handle, ws []*cluster.Node) int {
+		n := 0
+		for _, w := range ws {
+			if w.Store().Contains(h) {
+				n++
+			}
+		}
+		return n
+	}
+	settle := time.Now()
+	for {
+		done := true
+		for _, h := range handles {
+			if workerCopies(h, workers) < r {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Since(settle) > 30*time.Second {
+			return Row{}, "", fmt.Errorf("bench: replication did not settle at R=%d", r)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill worker 0 and watch repair convergence from the moment of
+	// death: every object that still has a copy must get back to
+	// min(R, survivors) worker copies.
+	survivors := workers[1:]
+	wantCopies := r
+	if len(survivors) < wantCopies {
+		wantCopies = len(survivors)
+	}
+	killedAt := time.Now()
+	var converged atomic.Int64 // ns since kill; 0 = not yet
+	workers[0].Close()
+	repairDone := make(chan struct{})
+	go func() {
+		defer close(repairDone)
+		for time.Since(killedAt) < 30*time.Second {
+			ok := true
+			for _, h := range handles {
+				if workerCopies(h, survivors) > 0 && workerCopies(h, survivors) < wantCopies {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				converged.Store(int64(time.Since(killedAt)))
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Fetch phase: wait for the edge to evict the dead worker (so
+	// failures are deterministic, not racing the failure detector), then
+	// fetch everything back through ring + view + fallback.
+	evictWait := time.Now()
+	for edge.NetStats().Peers > len(survivors) {
+		if time.Since(evictWait) > 30*time.Second {
+			return Row{}, "", fmt.Errorf("bench: edge never evicted the killed worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var fetchFails int
+	var fetchSum time.Duration
+	var fetched int
+	ctx := context.Background()
+	for _, h := range handles {
+		t0 := time.Now()
+		if _, err := edge.ObjectBytes(ctx, h); err != nil {
+			fetchFails++
+			continue
+		}
+		fetchSum += time.Since(t0)
+		fetched++
+	}
+	<-repairDone
+	if r > 1 && converged.Load() == 0 {
+		return Row{}, "", fmt.Errorf("bench: repair did not converge at R=%d", r)
+	}
+	if r > 1 && fetchFails > 0 {
+		return Row{}, "", fmt.Errorf("bench: %d fetches failed at R=%d; replication must mask a single node loss", fetchFails, r)
+	}
+
+	mean := time.Duration(0)
+	if fetched > 0 {
+		mean = fetchSum / time.Duration(fetched)
+	}
+	repairNote := "n/a (no replicas to repair)"
+	if r > 1 {
+		repairNote = fmtDur(time.Duration(converged.Load()))
+	}
+	var repairsSent, replicasSent uint64
+	for _, w := range survivors {
+		ns := w.NetStats()
+		repairsSent += ns.RepairReplicasSent
+		replicasSent += ns.ReplicasSent
+	}
+	row := Row{
+		System:   fmt.Sprintf("Fixpoint R=%d, 1 of %d workers killed", r, s.ReplWorkers),
+		Measured: mean,
+		Detail: fmt.Sprintf("fetch failures %d/%d, repair convergence %s",
+			fetchFails, len(handles), repairNote),
+	}
+	note := fmt.Sprintf("R=%d: %d/%d fetched, %d lost, replicas_sent=%d, repair_replicas_sent=%d, ring_members=%d",
+		r, fetched, len(handles), fetchFails, replicasSent, repairsSent, edge.NetStats().RingMembers)
+	return row, note, nil
+}

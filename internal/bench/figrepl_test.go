@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigRepl checks the experiment's acceptance properties: at R=1 the
+// kill loses exactly the killed worker's share of the objects; at R=2
+// no fetch fails and repair converges (the experiment itself errors on
+// a failed fetch or unconverged repair at R>1).
+func TestFigRepl(t *testing.T) {
+	s := tinyScale()
+	s.ReplWorkers = 3
+	s.ReplObjects = 24
+	s.ReplBlobBytes = 2 << 10
+	s.ReplFactors = []int{1, 2}
+
+	res, err := FigRepl(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (R=1 and R=2)", len(res.Rows))
+	}
+
+	// R=1: the killed worker held 1/3 of the writer copies, all lost.
+	wantLost := s.ReplObjects / s.ReplWorkers
+	if !strings.Contains(res.Rows[0].Detail, "fetch failures 8/24") {
+		t.Errorf("R=1 detail = %q, want %d/%d failures", res.Rows[0].Detail, wantLost, s.ReplObjects)
+	}
+	// R=2: zero failures, repair converged to a real duration.
+	if !strings.Contains(res.Rows[1].Detail, "fetch failures 0/24") {
+		t.Errorf("R=2 detail = %q, want zero failures", res.Rows[1].Detail)
+	}
+	if strings.Contains(res.Rows[1].Detail, "n/a") {
+		t.Errorf("R=2 detail = %q, want a repair convergence time", res.Rows[1].Detail)
+	}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s: no measurement", r.System)
+		}
+	}
+	t.Log("\n" + res.String())
+}

@@ -9,9 +9,14 @@ import (
 	"fixgo/internal/proto"
 )
 
-// clusterFetcher implements runtime.Fetcher over the peer network: missing
-// objects are requested from peers the view locates them on, falling back
-// to the node's ExtraFetcher (e.g. an object store).
+// clusterFetcher implements runtime.Fetcher over the peer network. The
+// owner walk is tiered: with replication on, the consistent-hash ring's
+// owner list comes first (replicas are placed there deterministically,
+// so any node can locate a copy it was never told about — including one
+// re-placed by repair after the advertised holder died); then the peers
+// the passive view locates the object on; then every remaining peer (the
+// view advances passively and may lag); finally the node's ExtraFetcher
+// (e.g. an object store).
 type clusterFetcher struct {
 	n *Node
 }
@@ -36,31 +41,39 @@ func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, erro
 	}
 	w := &fetchWait{done: make(chan struct{}), miss: make(chan string, 16)}
 	n.fetchW[k] = w
-	owners := make([]string, 0, len(n.view[k]))
-	for id := range n.view[k] {
-		owners = append(owners, id)
+	// Tier 1: the ring's owner list — the canonical replica placement,
+	// consulted only with replication on (at R=1 nothing is ring-placed,
+	// so asking the primary first would waste a round trip).
+	var ringOwners []string
+	if n.opts.Replicas > 1 {
+		ringOwners = n.ring.Owners(k, n.opts.Replicas)
 	}
+	// Tier 2: the passive view's believed holders (already sorted).
+	viewOwners := n.view.Owners(k)
 	peerByID := make(map[string]*peer, len(n.peers))
 	for id, p := range n.peers {
 		peerByID[id] = p
 	}
 	n.mu.Unlock()
-	sort.Strings(owners)
-	// Fall back to peers the view knows nothing about: the view advances
-	// passively and may lag objects created after the Hello exchange
-	// (e.g. a client uploading a job's inputs).
-	known := make(map[string]bool, len(owners))
-	for _, id := range owners {
-		known[id] = true
-	}
+	// Tier 3: every remaining peer — the view advances passively and may
+	// lag objects created after the Hello exchange (e.g. a client
+	// uploading a job's inputs).
 	rest := make([]string, 0, len(peerByID))
 	for id := range peerByID {
-		if !known[id] {
-			rest = append(rest, id)
-		}
+		rest = append(rest, id)
 	}
 	sort.Strings(rest)
-	owners = append(owners, rest...)
+	owners := make([]string, 0, len(ringOwners)+len(viewOwners)+len(rest))
+	tried := make(map[string]bool, cap(owners))
+	for _, tier := range [][]string{ringOwners, viewOwners, rest} {
+		for _, id := range tier {
+			if id == n.id || tried[id] {
+				continue
+			}
+			tried[id] = true
+			owners = append(owners, id)
+		}
+	}
 
 	err := f.run(ctx, k, w, owners, peerByID)
 	if err != nil {

@@ -3,12 +3,23 @@
 // transport links, each running an independent dataflow-aware scheduler.
 //
 // There is no centralized scheduler. Each node keeps a passive "view" of
-// which objects exist on which peers: on connect, nodes exchange lists of
-// locally resident objects; thereafter the view advances as objects and
-// results move. Given an Encode to force, the local scheduler walks the
-// job's definition closure, estimates the bytes that would have to move to
-// each candidate node (including the hinted output size), and delegates to
-// the cheapest — or runs locally when it already is the cheapest.
+// which objects exist on which peers (an objstore.ReplicaTracker): on
+// connect, nodes exchange lists of locally resident objects; thereafter
+// the view advances as objects and results move. Given an Encode to
+// force, the local scheduler walks the job's definition closure,
+// estimates the bytes that would have to move to each candidate node
+// (including the hinted output size), and delegates to the cheapest — or
+// runs locally when it already is the cheapest.
+//
+// Object lookup is two-tiered. Every node also derives a consistent-hash
+// ring (objstore.Ring) over the live worker membership; with
+// NodeOptions.Replicas R > 1, each write is synchronously stored at the
+// writer and asynchronously pushed to R−1 ring successors, the fetcher
+// consults the ring's owner list before the passive view, and peer
+// eviction triggers an anti-entropy repair pass that re-replicates
+// under-replicated objects onto the ring's new successors (replicate.go).
+// The passive view remains the fallback for objects written before
+// replication was enabled or not yet migrated onto the ring.
 package cluster
 
 import (
@@ -22,6 +33,7 @@ import (
 	"time"
 
 	"fixgo/internal/core"
+	"fixgo/internal/objstore"
 	"fixgo/internal/proto"
 	"fixgo/internal/runtime"
 	"fixgo/internal/stats"
@@ -72,6 +84,16 @@ type NodeOptions struct {
 	// after losing its worker before the node gives up (runs the job
 	// locally, or fails it when ClientOnly). Default 3.
 	MaxReplacements int
+	// Replicas is the replication factor R: every write (PutBlob,
+	// PutTree, eval outputs) is stored synchronously at the writer and
+	// pushed asynchronously to R−1 consistent-hash ring successors, so
+	// the object survives the loss of any R−1 holders. 1 (the default)
+	// disables replication — the writer's copy is the only copy.
+	Replicas int
+	// RingVnodes is the virtual-node count per member on the placement
+	// ring (default objstore.DefaultVnodes). All nodes in a cluster must
+	// agree on it, or their rings diverge.
+	RingVnodes int
 }
 
 func (o NodeOptions) withDefaults() NodeOptions {
@@ -86,6 +108,12 @@ func (o NodeOptions) withDefaults() NodeOptions {
 	}
 	if o.MaxReplacements <= 0 {
 		o.MaxReplacements = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.RingVnodes <= 0 {
+		o.RingVnodes = objstore.DefaultVnodes
 	}
 	return o
 }
@@ -136,6 +164,25 @@ type NetStats struct {
 	// (no surviving candidate, or the attempt bound was exhausted on a
 	// ClientOnly node).
 	ReplaceFailures uint64 `json:"replace_failures"`
+	// Replicas is the configured replication factor R (1 = replication
+	// off).
+	Replicas int `json:"replicas"`
+	// RingMembers is the current consistent-hash ring size: live worker
+	// peers, plus this node unless it is client-only.
+	RingMembers int `json:"ring_members"`
+	// ReplicasSent counts Replicate pushes for fresh writes.
+	ReplicasSent uint64 `json:"replicas_sent"`
+	// ReplicasAcked counts ReplicateAck confirmations received — for
+	// write and repair pushes alike (the ack carries no origin marker),
+	// so the backlog gauge is ReplicasSent+RepairReplicasSent minus
+	// ReplicasAcked.
+	ReplicasAcked uint64 `json:"replicas_acked"`
+	// RepairPasses counts anti-entropy passes triggered by membership
+	// changes.
+	RepairPasses uint64 `json:"repair_passes"`
+	// RepairReplicasSent counts Replicate pushes sent by repair passes
+	// to re-establish R copies after a holder was lost.
+	RepairReplicasSent uint64 `json:"repair_replicas_sent"`
 }
 
 // Node is one Fixpoint instance in a distributed deployment.
@@ -149,7 +196,8 @@ type Node struct {
 
 	mu      sync.Mutex
 	peers   map[string]*peer
-	view    map[core.Handle]map[string]bool
+	view    *objstore.ReplicaTracker // passive object view: key → believed holders
+	ring    *objstore.Ring           // consistent-hash placement ring over live members
 	fetchW  map[core.Handle]*fetchWait
 	jobW    map[core.Handle][]*jobWaiter
 	pending map[string]int // node id → jobs in flight there (scheduling load)
@@ -205,12 +253,13 @@ func NewNode(id string, opts NodeOptions) *Node {
 		st:      store.New(),
 		done:    make(chan struct{}),
 		peers:   make(map[string]*peer),
-		view:    make(map[core.Handle]map[string]bool),
+		view:    objstore.NewReplicaTracker(),
 		fetchW:  make(map[core.Handle]*fetchWait),
 		jobW:    make(map[core.Handle][]*jobWaiter),
 		pending: make(map[string]int),
 		rng:     rand.New(rand.NewSource(opts.Seed ^ int64(fnvHash(id)))),
 	}
+	n.rebuildRingLocked()
 	n.eng = runtime.New(n.st, runtime.Options{
 		Cores:              opts.Cores,
 		MemoryBytes:        opts.MemoryBytes,
@@ -309,6 +358,10 @@ func (n *Node) evictPeer(p *peer, cause error) {
 	delete(n.peers, p.id)
 	n.net.Evicted++
 	lost := n.stripPeerLocked(p.id)
+	wasWorker := p.role == proto.RoleWorker
+	if wasWorker {
+		n.rebuildRingLocked()
+	}
 	waits := make([]*fetchWait, 0, len(n.fetchW))
 	for _, w := range n.fetchW {
 		waits = append(waits, w)
@@ -326,6 +379,13 @@ func (n *Node) evictPeer(p *peer, cause error) {
 		default:
 		}
 	}
+	// The worker membership just shrank: objects that kept a replica on
+	// the dead node are under-replicated, and some keys now map to new
+	// ring successors. Re-establish R copies. (A departing client held
+	// no ring slot — nothing to repair.)
+	if wasWorker {
+		n.repairKick()
+	}
 }
 
 // stripPeerLocked removes every trace of a peer incarnation that can no
@@ -333,14 +393,7 @@ func (n *Node) evictPeer(p *peer, cause error) {
 // parked delegations (returned for the caller to fail outside the
 // lock). Callers hold n.mu.
 func (n *Node) stripPeerLocked(id string) []*jobWaiter {
-	for k, owners := range n.view {
-		if owners[id] {
-			delete(owners, id)
-			if len(owners) == 0 {
-				delete(n.view, k)
-			}
-		}
-	}
+	n.view.DropOwner(id)
 	delete(n.pending, id)
 	var lost []*jobWaiter
 	for enc, ws := range n.jobW {
@@ -408,12 +461,15 @@ func (n *Node) heartbeatLoop() {
 	}
 }
 
-// NetStats snapshots the node's failure-handling counters.
+// NetStats snapshots the node's failure-handling and replication
+// counters.
 func (n *Node) NetStats() NetStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := n.net
 	out.Peers = len(n.peers)
+	out.Replicas = n.opts.Replicas
+	out.RingMembers = n.ring.Len()
 	return out
 }
 
@@ -422,12 +478,7 @@ func (n *Node) NetStats() NetStats {
 func (n *Node) ViewOwners(h core.Handle) []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	owners := n.view[keyOf(h)]
-	out := make([]string, 0, len(owners))
-	for id := range owners {
-		out = append(out, id)
-	}
-	return out
+	return n.view.Owners(keyOf(h))
 }
 
 func (n *Node) isClosed() bool {
@@ -523,6 +574,11 @@ func (n *Node) recvLoop(conn transport.Conn) {
 			}
 			old := n.peers[m.From]
 			n.peers[m.From] = np
+			if np.role == proto.RoleWorker {
+				// Client-only peers are not placement targets; their
+				// arrival cannot change the ring.
+				n.rebuildRingLocked()
+			}
 			var lost []*jobWaiter
 			if old != nil {
 				// A reconnect replaces the previous link. Delegations
@@ -543,6 +599,14 @@ func (n *Node) recvLoop(conn transport.Conn) {
 				}
 			}
 			p = np
+			// A grown worker membership remaps some keys to new ring
+			// successors; migrate replicas there (no-op with replication
+			// off). A joining client changes nothing, so skip the store
+			// walk — a flapping client link must not cost repeated
+			// cluster-wide repair passes.
+			if np.role == proto.RoleWorker {
+				n.repairKick()
+			}
 		}
 		p.lastSeen.Store(time.Now().UnixNano())
 		n.handle(m)
@@ -563,10 +627,7 @@ func (n *Node) handle(m *proto.Message) {
 		n.ingestObject(m.From, m.Handle, m.Data)
 	case proto.TypeMissing:
 		n.mu.Lock()
-		owners := n.view[keyOf(m.Handle)]
-		if owners != nil {
-			delete(owners, m.From)
-		}
+		n.view.Remove(keyOf(m.Handle), m.From)
 		w := n.fetchW[keyOf(m.Handle)]
 		n.mu.Unlock()
 		if w != nil {
@@ -598,6 +659,23 @@ func (n *Node) handle(m *proto.Message) {
 		}
 	case proto.TypePong:
 		// Receipt alone is the signal; lastSeen already advanced.
+	case proto.TypeReplicate:
+		// A peer designated this node a replica holder for the object.
+		// Ingest, then confirm — the ack is what lets the sender count
+		// the copy as established.
+		if n.ingestObject(m.From, m.Handle, m.Data) {
+			n.mu.Lock()
+			p := n.peers[m.From]
+			n.mu.Unlock()
+			if p != nil {
+				_ = p.send(&proto.Message{Type: proto.TypeReplicateAck, From: n.id, Handle: m.Handle})
+			}
+		}
+	case proto.TypeReplicateAck:
+		n.mu.Lock()
+		n.viewAddLocked(m.Handle, m.From)
+		n.net.ReplicasAcked++
+		n.mu.Unlock()
 	}
 }
 
@@ -609,13 +687,7 @@ func keyOf(h core.Handle) core.Handle {
 }
 
 func (n *Node) viewAddLocked(h core.Handle, owner string) {
-	k := keyOf(h)
-	set := n.view[k]
-	if set == nil {
-		set = make(map[string]bool)
-		n.view[k] = set
-	}
-	set[owner] = true
+	n.view.Add(keyOf(h), owner)
 }
 
 func (n *Node) serveRequest(m *proto.Message) {
@@ -633,14 +705,17 @@ func (n *Node) serveRequest(m *proto.Message) {
 	_ = p.send(&proto.Message{Type: proto.TypeObject, From: n.id, Handle: m.Handle, Data: data})
 }
 
-func (n *Node) ingestObject(from string, h core.Handle, data []byte) {
+// ingestObject stores object bytes received from a peer and reports
+// whether they were accepted (content matching the handle).
+func (n *Node) ingestObject(from string, h core.Handle, data []byte) bool {
 	if err := n.st.PutObject(h, data); err != nil {
-		return
+		return false
 	}
 	n.mu.Lock()
 	n.viewAddLocked(h, from)
 	n.mu.Unlock()
 	n.completeFetch(h, nil)
+	return true
 }
 
 // completeFetch finishes an outstanding fetch wait, if any.
@@ -680,7 +755,11 @@ func (n *Node) serveJob(m *proto.Message) {
 	if err != nil {
 		reply.Err = err.Error()
 	} else {
-		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: n.closureOf(res)})
+		closure := n.closureOf(res)
+		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: closure})
+		// Eval outputs are writes too: a result living only on the worker
+		// that computed it would vanish with that worker.
+		n.replicate(closure, false)
 	}
 	n.mu.Lock()
 	p := n.peers[m.From]

@@ -269,7 +269,7 @@ func (n *Node) hasLocked(node string, h core.Handle) bool {
 	if node == n.id {
 		return n.st.Contains(h)
 	}
-	return n.view[keyOf(h)][node]
+	return n.view.Holds(keyOf(h), node)
 }
 
 func tieBreak(enc core.Handle, cand string) uint64 {
@@ -365,7 +365,7 @@ func (n *Node) pushSet(target string, enc core.Handle, deps []dep) []proto.Pushe
 		if len(out) >= maxObjects || total >= maxBytes {
 			break
 		}
-		if n.view[keyOf(d.h)][target] {
+		if n.view.Holds(keyOf(d.h), target) {
 			continue
 		}
 		isTree := d.h.Kind() == core.KindTree

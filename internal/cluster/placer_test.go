@@ -169,8 +169,8 @@ func TestPickNeverSelectsEvictedPeer(t *testing.T) {
 		}
 		// The view must be clean of evicted owners.
 		n.mu.Lock()
-		for h, owners := range n.view {
-			for id := range owners {
+		for _, h := range handles {
+			for _, id := range n.view.Owners(keyOf(h)) {
 				if evicted[id] {
 					n.mu.Unlock()
 					t.Fatalf("seed %d: view[%v] still lists evicted %s", seed, h, id)

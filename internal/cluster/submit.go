@@ -14,23 +14,29 @@ import (
 // whole inventory the way AdvertiseAll does, so a gateway pushing many
 // small objects does not quadratically re-announce its store.
 
-// PutBlob stores a Blob on this node and advertises it to all peers.
-// Literal Blobs live entirely in their Handle and need no advertisement.
+// PutBlob stores a Blob on this node, advertises it to all peers, and —
+// with Replicas > 1 — asynchronously pushes copies to the blob's ring
+// successors. Literal Blobs live entirely in their Handle and need no
+// advertisement or replication.
 func (n *Node) PutBlob(data []byte) core.Handle {
 	h := n.st.PutBlob(data)
 	if !h.IsLiteral() {
 		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
+		n.replicate([]core.Handle{h}, false)
 	}
 	return h
 }
 
-// PutTree stores a Tree on this node and advertises it to all peers.
+// PutTree stores a Tree on this node, advertises it to all peers, and —
+// with Replicas > 1 — asynchronously pushes copies to the tree's ring
+// successors.
 func (n *Node) PutTree(entries []core.Handle) (core.Handle, error) {
 	h, err := n.st.PutTree(entries)
 	if err != nil {
 		return core.Handle{}, err
 	}
 	n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
+	n.replicate([]core.Handle{h}, false)
 	return h, nil
 }
 

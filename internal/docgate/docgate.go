@@ -1,8 +1,12 @@
 // Package docgate is the documentation quality gate run by CI's docs
 // job. Its tests fail the build when an exported identifier in the
-// serving-tier packages (internal/jobs, internal/gateway) lacks a doc
-// comment, or when a relative link in the top-level markdown docs
-// (README.md, ARCHITECTURE.md, BENCHMARKS.md) points at a file that
-// does not exist. Keeping the gate as ordinary Go tests means it needs
-// no extra tooling in CI and runs in every local `go test ./...`.
+// gated packages — the serving tier (internal/jobs, internal/gateway)
+// and the distributed layers (internal/cluster, internal/objstore,
+// internal/transport, internal/durable) — lacks a doc comment, when a
+// relative link in the top-level markdown docs (README.md,
+// ARCHITECTURE.md, BENCHMARKS.md, OPERATIONS.md) points at a file that
+// does not exist, or when a committed BENCH_<id>.json emission is
+// missing or drifts from the schema documented in BENCHMARKS.md.
+// Keeping the gate as ordinary Go tests means it needs no extra tooling
+// in CI and runs in every local `go test ./...`.
 package docgate

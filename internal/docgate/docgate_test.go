@@ -1,6 +1,8 @@
 package docgate
 
 import (
+	"bytes"
+	"encoding/json"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -12,11 +14,16 @@ import (
 )
 
 // gatedPackages are the packages whose exported surface must be fully
-// documented (the serving tier this repo grows PR over PR; the rest of
-// the tree is audited by review, not mechanically).
+// documented: the serving tier plus the distributed layers (cluster,
+// object placement, wire transport, persistence) this repo grows PR
+// over PR; the rest of the tree is audited by review, not mechanically.
 var gatedPackages = []string{
 	"../../internal/jobs",
 	"../../internal/gateway",
+	"../../internal/cluster",
+	"../../internal/objstore",
+	"../../internal/transport",
+	"../../internal/durable",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported top-level
@@ -114,6 +121,72 @@ var gatedDocs = []string{
 	"../../README.md",
 	"../../ARCHITECTURE.md",
 	"../../BENCHMARKS.md",
+	"../../OPERATIONS.md",
+}
+
+// gatedBenchIDs are the experiments whose BENCH_<id>.json emission must
+// be committed at the repo root and parse against the documented schema
+// (BENCHMARKS.md §JSON schema). Adding an experiment without committing
+// its JSON — or drifting the schema without updating the docs and this
+// gate — fails CI.
+var gatedBenchIDs = []string{
+	"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10",
+	"gateway", "durable", "jobs", "cluster", "replication",
+}
+
+// benchResult mirrors bench.JSONResult field for field; decoding with
+// DisallowUnknownFields makes this test fail when the emitted schema
+// gains fields the documentation does not know about.
+type benchResult struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Rows  []benchRow `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+type benchRow struct {
+	System     string `json:"system"`
+	MeasuredNS int64  `json:"measured_ns"`
+	PaperNS    int64  `json:"paper_ns,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// TestBenchJSONSchema fails when a committed BENCH_<id>.json is missing,
+// unparseable, schema-drifted, or self-inconsistent (wrong id, empty
+// rows, empty system names, non-positive measurements).
+func TestBenchJSONSchema(t *testing.T) {
+	for _, id := range gatedBenchIDs {
+		path := filepath.Join("../..", "BENCH_"+id+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("required bench emission missing: %v", err)
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var res benchResult
+		if err := dec.Decode(&res); err != nil {
+			t.Errorf("BENCH_%s.json: schema violation: %v", id, err)
+			continue
+		}
+		if res.ID != id {
+			t.Errorf("BENCH_%s.json: id = %q, want %q", id, res.ID, id)
+		}
+		if res.Title == "" {
+			t.Errorf("BENCH_%s.json: empty title", id)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("BENCH_%s.json: no rows", id)
+		}
+		for i, row := range res.Rows {
+			if row.System == "" {
+				t.Errorf("BENCH_%s.json: row %d has no system", id, i)
+			}
+			if row.MeasuredNS <= 0 {
+				t.Errorf("BENCH_%s.json: row %d (%s) measured_ns = %d", id, i, row.System, row.MeasuredNS)
+			}
+		}
+	}
 }
 
 // mdLink matches [text](target) markdown links.

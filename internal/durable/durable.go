@@ -67,6 +67,7 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always|interval|never)", s)
 }
 
+// String renders the policy as its -fsync flag value.
 func (p FsyncPolicy) String() string {
 	switch p {
 	case FsyncAlways:

@@ -113,9 +113,10 @@ type Stats struct {
 	// Jobs is the async queue's snapshot (nil when async serving is
 	// disabled): depth, oldest-pending age, per-state counters.
 	Jobs *jobs.Stats `json:"jobs,omitempty"`
-	// Cluster is the backend node's peer/failure-handling snapshot (nil
-	// when the backend is not a cluster node): live peers, evictions,
-	// heartbeats, job re-placements.
+	// Cluster is the backend node's peer/failure-handling and
+	// replication snapshot (nil when the backend is not a cluster node):
+	// live peers, evictions, heartbeats, job re-placements, ring size,
+	// replica pushes and repair activity.
 	Cluster *cluster.NetStats       `json:"cluster,omitempty"`
 	Tenants map[string]*TenantStats `json:"tenants"`
 }
@@ -507,6 +508,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("cluster_jobs_replaced_total", st.Cluster.JobsReplaced)
 		p("cluster_jobs_local_fallback_total", st.Cluster.JobsLocalFallback)
 		p("cluster_replace_failures_total", st.Cluster.ReplaceFailures)
+		p("cluster_replicas", st.Cluster.Replicas)
+		p("cluster_ring_members", st.Cluster.RingMembers)
+		p("cluster_replicas_sent_total", st.Cluster.ReplicasSent)
+		p("cluster_replicas_acked_total", st.Cluster.ReplicasAcked)
+		p("cluster_repair_passes_total", st.Cluster.RepairPasses)
+		p("cluster_repair_replicas_sent_total", st.Cluster.RepairReplicasSent)
 	}
 	if st.Jobs != nil {
 		p("async_workers", st.Jobs.Workers)

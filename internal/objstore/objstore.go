@@ -1,9 +1,13 @@
-// Package objstore implements the network storage substrate of the
-// paper's evaluation: an S3/MinIO analog with a configurable per-request
-// response latency (150 ms in Fig. 8a, mimicking Amazon S3 small-object
-// fetches) and an aggregate bandwidth cap (MinIO deployed on the cluster
-// in Fig. 8b/10). It serves both Fixpoint (as a runtime.Fetcher keyed by
-// handle) and the baselines (keyed by name).
+// Package objstore holds the object-placement layer shared by the
+// cluster: the consistent-hash Ring that deterministically maps every
+// handle to an ordered replica owner list (ring.go), the ReplicaTracker
+// passive view of which nodes hold which objects (replicas.go), and the
+// network storage substrate of the paper's evaluation — an S3/MinIO
+// analog with a configurable per-request response latency (150 ms in
+// Fig. 8a, mimicking Amazon S3 small-object fetches) and an aggregate
+// bandwidth cap (MinIO deployed on the cluster in Fig. 8b/10). The
+// store serves both Fixpoint (as a runtime.Fetcher keyed by handle) and
+// the baselines (keyed by name).
 package objstore
 
 import (

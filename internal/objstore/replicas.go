@@ -1,0 +1,95 @@
+package objstore
+
+import (
+	"sort"
+
+	"fixgo/internal/core"
+)
+
+// ReplicaTracker records which remote nodes are believed to hold each
+// object — the cluster's passive "view", factored out of the node so the
+// placer, fetcher, replicator, and repair pass all consult one replica
+// map instead of each keeping private bookkeeping.
+//
+// Entries advance passively (Hello/Advertise adverts, observed
+// Replicate/ReplicateAck traffic, pushed job dependencies) and regress on
+// eviction (DropOwner) or an observed miss (Remove). The tracker is
+// advisory: a fetch treats its answer as a hint ordering, never as
+// ground truth.
+//
+// ReplicaTracker is not safe for concurrent use; the owning node guards
+// it with its own mutex (the same lock that already orders view updates
+// against placement decisions).
+type ReplicaTracker struct {
+	byKey map[core.Handle]map[string]bool
+}
+
+// NewReplicaTracker returns an empty tracker.
+func NewReplicaTracker() *ReplicaTracker {
+	return &ReplicaTracker{byKey: make(map[core.Handle]map[string]bool)}
+}
+
+// Add records that owner holds key.
+func (t *ReplicaTracker) Add(key core.Handle, owner string) {
+	set := t.byKey[key]
+	if set == nil {
+		set = make(map[string]bool)
+		t.byKey[key] = set
+	}
+	set[owner] = true
+}
+
+// Remove forgets that owner holds key (e.g. after a Missing reply).
+func (t *ReplicaTracker) Remove(key core.Handle, owner string) {
+	if set := t.byKey[key]; set != nil {
+		delete(set, owner)
+		if len(set) == 0 {
+			delete(t.byKey, key)
+		}
+	}
+}
+
+// Holds reports whether owner is believed to hold key.
+func (t *ReplicaTracker) Holds(key core.Handle, owner string) bool {
+	return t.byKey[key][owner]
+}
+
+// Owners lists the believed holders of key, sorted for deterministic
+// iteration.
+func (t *ReplicaTracker) Owners(key core.Handle) []string {
+	set := t.byKey[key]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count reports how many remote holders of key are known.
+func (t *ReplicaTracker) Count(key core.Handle) int {
+	return len(t.byKey[key])
+}
+
+// DropOwner purges every entry naming owner (the eviction path) and
+// reports how many keys lost a replica — the under-replication signal
+// that sizes the subsequent repair pass.
+func (t *ReplicaTracker) DropOwner(owner string) int {
+	dropped := 0
+	for key, set := range t.byKey {
+		if set[owner] {
+			delete(set, owner)
+			dropped++
+			if len(set) == 0 {
+				delete(t.byKey, key)
+			}
+		}
+	}
+	return dropped
+}
+
+// Len reports how many distinct keys have at least one known holder.
+func (t *ReplicaTracker) Len() int { return len(t.byKey) }

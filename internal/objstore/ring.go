@@ -1,0 +1,154 @@
+package objstore
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"fixgo/internal/core"
+)
+
+// DefaultVnodes is the number of virtual nodes each member contributes
+// to a Ring when the caller does not choose: enough that ownership
+// spreads within a few percent of uniform across a handful of nodes,
+// small enough that rebuilding the ring on every membership change is
+// negligible next to one heartbeat.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over node identifiers: the single
+// placement authority shared by the cluster's writer (which nodes get a
+// replica), fetcher (which nodes to ask first), and repair pass (which
+// nodes must be re-filled after an eviction).
+//
+// Each member contributes vnodes points, placed by hashing
+// "id#<vnode>"; a key's owner list is the first R distinct members
+// encountered walking clockwise from the key's own hash. Two properties
+// make it the right authority for replica placement:
+//
+//   - determinism: any two nodes with the same membership view compute
+//     identical owner lists for every handle, so a reader can locate a
+//     replica it was never told about; and
+//   - minimal disruption: removing a member only remaps keys that member
+//     owned — every owner list not containing the dead node is
+//     unchanged, so repair after an eviction touches only the objects
+//     that actually lost a replica.
+//
+// A Ring is immutable after construction; membership changes build a new
+// Ring (see the cluster node's rebuild-on-eviction path).
+type Ring struct {
+	points []ringPoint // sorted by hash
+	ids    []string    // distinct members, sorted
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// NewRing builds a ring over ids with the given virtual-node count per
+// member (DefaultVnodes when vnodes <= 0). Duplicate ids collapse; a nil
+// or empty id list yields an empty ring whose Owners is always nil.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(id, v), id: id})
+		}
+	}
+	sort.Strings(r.ids)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.id < b.id // total order even on (vanishingly rare) hash ties
+	})
+	return r
+}
+
+// Len reports the number of distinct members.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// Members lists the distinct member ids, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// Owners returns the ordered owner list for a key: the first n distinct
+// members walking clockwise from the key's hash. Fewer than n members
+// yields all of them; an empty ring yields nil. The first entry is the
+// key's primary, the rest its successors — the fallback order a fetch
+// walks and the targets a write replicates to.
+func (r *Ring) Owners(key core.Handle, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.ids) {
+		n = len(r.ids)
+	}
+	h := keyHash(key)
+	// First point at or after the key's hash, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		p := r.points[i%len(r.points)]
+		i++
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Primary returns the key's first owner ("" on an empty ring).
+func (r *Ring) Primary(key core.Handle) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}
+
+func pointHash(id string, vnode int) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(id))
+	f.Write([]byte{'#'})
+	f.Write([]byte(strconv.Itoa(vnode)))
+	return mix64(f.Sum64())
+}
+
+func keyHash(key core.Handle) uint64 {
+	f := fnv.New64a()
+	f.Write(key[:])
+	return mix64(f.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone has weak high-bit
+// avalanche on short, similar inputs ("w2#17" vs "w2#18"), and ring
+// ordering sorts on the high bits — without a finalizer, one member's
+// virtual nodes cluster and ownership shares skew badly (observed 3% vs
+// an expected 25% on a 4-member ring).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

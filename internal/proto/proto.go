@@ -33,6 +33,12 @@ const (
 	TypePing
 	// TypePong answers a Ping.
 	TypePong
+	// TypeReplicate pushes an object's bytes to a ring-designated replica
+	// holder (R-way replication and anti-entropy repair).
+	TypeReplicate
+	// TypeReplicateAck confirms a replica is durably ingested at the
+	// sender.
+	TypeReplicateAck
 )
 
 // PushedObject is an object shipped inside a Job message.
@@ -48,11 +54,11 @@ type Message struct {
 	Type    byte
 	From    string
 	Role    byte           // Hello: RoleWorker or RoleClient
-	Handle  core.Handle    // Request/Object/Missing/Job/Result: subject
+	Handle  core.Handle    // Request/Object/Missing/Job/Result/Replicate/ReplicateAck: subject
 	Result  core.Handle    // Result: outcome handle
 	Hops    uint8          // Job: delegation hop count
 	Err     string         // Result: error, empty on success
-	Data    []byte         // Object: payload bytes
+	Data    []byte         // Object/Replicate: payload bytes
 	Adverts []core.Handle  // Hello/Advertise
 	Pushed  []PushedObject // Job: definition closure
 }
@@ -80,9 +86,11 @@ func (m *Message) Encode() []byte {
 		}
 	case TypeRequest, TypeMissing:
 		buf = append(buf, m.Handle[:]...)
-	case TypeObject:
+	case TypeObject, TypeReplicate:
 		buf = append(buf, m.Handle[:]...)
 		buf = appendBytes(buf, m.Data)
+	case TypeReplicateAck:
+		buf = append(buf, m.Handle[:]...)
 	case TypeJob:
 		buf = append(buf, m.Handle[:]...)
 		buf = append(buf, m.Hops)
@@ -120,9 +128,11 @@ func Decode(data []byte) (*Message, error) {
 		}
 	case TypeRequest, TypeMissing:
 		m.Handle = d.handle()
-	case TypeObject:
+	case TypeObject, TypeReplicate:
 		m.Handle = d.handle()
 		m.Data = d.bytes()
+	case TypeReplicateAck:
+		m.Handle = d.handle()
 	case TypeJob:
 		m.Handle = d.handle()
 		m.Hops = d.u8()

@@ -99,6 +99,36 @@ func TestPingPongRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReplicateRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte{8}, 700)
+	h := core.BlobHandle(data)
+	m := &Message{Type: TypeReplicate, From: "w1", Handle: h, Data: data}
+	got := roundTrip(t, m)
+	if got.Type != TypeReplicate || got.Handle != h || !bytes.Equal(got.Data, data) {
+		t.Fatal("replicate mismatch")
+	}
+
+	ack := &Message{Type: TypeReplicateAck, From: "w2", Handle: h}
+	got = roundTrip(t, ack)
+	if got.Type != TypeReplicateAck || got.From != "w2" || got.Handle != h {
+		t.Fatalf("ack mismatch: %+v", got)
+	}
+	if len(got.Data) != 0 {
+		t.Fatal("ack must carry no payload")
+	}
+}
+
+func TestReplicateTruncated(t *testing.T) {
+	data := bytes.Repeat([]byte{3}, 64)
+	m := &Message{Type: TypeReplicate, From: "w", Handle: core.BlobHandle(data), Data: data}
+	raw := m.Encode()
+	for cut := 1; cut < len(raw); cut += 5 {
+		if _, err := Decode(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	cases := [][]byte{
 		nil,
