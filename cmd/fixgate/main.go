@@ -44,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fixgo/internal/bptree"
@@ -53,6 +54,7 @@ import (
 	"fixgo/internal/durable"
 	"fixgo/internal/flatware"
 	"fixgo/internal/gateway"
+	"fixgo/internal/obsv"
 	"fixgo/internal/runtime"
 	"fixgo/internal/store"
 	"fixgo/internal/transport"
@@ -77,6 +79,8 @@ func main() {
 	hbInterval := flag.Duration("hb-interval", time.Second, "worker heartbeat interval (0 disables failure detection)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a worker is evicted (default 4×hb-interval)")
 	replicas := flag.Int("replicas", 1, "cluster replication factor R: writes are pushed to R-1 ring successors (1 disables replication)")
+	traceEntries := flag.Int("trace-entries", 512, "finished request traces retained for GET /v1/trace")
+	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /metrics, and /v1/trace")
 	flag.Parse()
 
 	reg := runtime.NewRegistry()
@@ -140,11 +144,21 @@ func main() {
 		fatal(err)
 	}
 	var dur *durable.Store
+	// The durable store opens before the gateway exists, but its write
+	// latencies should land in the gateway's fixgate_persist_seconds
+	// histogram; the observer indirects through an atomic the server
+	// fills in below. Writes before that see nil and skip.
+	var persistObs atomic.Pointer[func(op string, took time.Duration)]
 	if *dataDir != "" {
 		d, rs, err := durable.Attach(*dataDir, durable.Options{
 			Fsync:         policy,
 			GCBudgetBytes: *gcBudgetMiB << 20,
-			Logf:          log.Printf,
+			Observe: func(op string, took time.Duration) {
+				if f := persistObs.Load(); f != nil {
+					(*f)(op, took)
+				}
+			},
+			Logf: log.Printf,
 		}, backing)
 		if err != nil {
 			fatal(err)
@@ -168,7 +182,11 @@ func main() {
 		PersistErrors:   backing.PersistErrors,
 		AsyncWorkers:    *asyncWorkers,
 		AsyncQueueDepth: *queueDepth,
+		TraceEntries:    *traceEntries,
 		Logf:            log.Printf,
+	}
+	if dur != nil {
+		gwOpts.DurableStats = dur.Stats
 	}
 	if *dataDir != "" {
 		// The jobs journal shares the data-dir (and fsync policy) with
@@ -183,6 +201,17 @@ func main() {
 		fatal(err)
 	}
 	defer srv.Close()
+	obs := srv.PersistObserver()
+	persistObs.Store(&obs)
+	if *debugAddr != "" {
+		mux := obsv.DebugMux(srv.Metrics(), srv.Tracer())
+		fmt.Printf("fixgate: debug listener (pprof, metrics, traces) on %s\n", *debugAddr)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("fixgate: debug listener: %v", err)
+			}
+		}()
+	}
 	if m := srv.Jobs(); m != nil {
 		js := m.Stats()
 		if js.Replayed > 0 {

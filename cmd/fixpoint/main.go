@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"fixgo/internal/cluster"
 	"fixgo/internal/durable"
 	"fixgo/internal/flatware"
+	"fixgo/internal/obsv"
 	"fixgo/internal/runtime"
 	"fixgo/internal/transport"
 	"fixgo/internal/wiki"
@@ -51,6 +53,7 @@ func main() {
 	hbInterval := flag.Duration("hb-interval", time.Second, "peer heartbeat interval (0 disables failure detection)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a peer is evicted (default 4×hb-interval)")
 	replicas := flag.Int("replicas", 1, "cluster replication factor R: writes are pushed to R-1 ring successors (1 disables replication)")
+	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /metrics, and /v1/trace")
 	flag.Parse()
 
 	if *id == "" {
@@ -74,6 +77,7 @@ func main() {
 		Replicas:          *replicas,
 	})
 
+	var dur *durable.Store
 	if *dataDir != "" {
 		policy, err := durable.ParseFsyncPolicy(*fsync)
 		if err != nil {
@@ -92,8 +96,29 @@ func main() {
 			os.Exit(1)
 		}
 		defer d.Close()
+		dur = d
 		fmt.Printf("fixpoint: recovered %d blobs, %d trees, %d thunk + %d encode memos from %s (fsync=%s)\n",
 			rs.Blobs, rs.Trees, rs.Thunks, rs.Encodes, *dataDir, policy)
+	}
+
+	// The metrics registry and trace ring exist regardless of
+	// -debug-addr: delegated jobs still record under the gateway's
+	// propagated trace IDs, and the debug listener is just a window onto
+	// them.
+	var durableStats func() durable.Stats
+	if dur != nil {
+		durableStats = dur.Stats
+	}
+	nodeReg, nodeTracer := cluster.NewNodeMetrics(node, durableStats)
+	node.SetTracer(nodeTracer)
+	if *debugAddr != "" {
+		mux := obsv.DebugMux(nodeReg, nodeTracer)
+		fmt.Printf("fixpoint: debug listener (pprof, metrics, traces) on %s\n", *debugAddr)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "fixpoint: debug listener: %v\n", err)
+			}
+		}()
 	}
 
 	for _, addr := range strings.Split(*peers, ",") {

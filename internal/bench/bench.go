@@ -236,6 +236,7 @@ var Experiments = []struct {
 	{"jobs", FigJobs},
 	{"cluster", FigCluster},
 	{"replication", FigRepl},
+	{"trace", FigTrace},
 }
 
 // Run executes one experiment by id.

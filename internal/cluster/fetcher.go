@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fixgo/internal/core"
+	"fixgo/internal/obsv"
 	"fixgo/internal/proto"
 )
 
@@ -24,6 +25,7 @@ type clusterFetcher struct {
 func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, error) {
 	n := f.n
 	k := keyOf(h)
+	defer obsv.FromContext(ctx).StartSpan("object_fetch", "").End()
 
 	// Single-flight: join an in-progress fetch if one exists.
 	n.mu.Lock()
@@ -86,12 +88,16 @@ func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, erro
 
 func (f *clusterFetcher) run(ctx context.Context, k core.Handle, w *fetchWait, owners []string, peerByID map[string]*peer) error {
 	n := f.n
+	var traceID string
+	if t := obsv.FromContext(ctx); t != nil {
+		traceID = t.ID
+	}
 	for _, owner := range owners {
 		p := peerByID[owner]
 		if p == nil {
 			continue
 		}
-		if err := p.send(&proto.Message{Type: proto.TypeRequest, From: n.id, Handle: k}); err != nil {
+		if err := p.send(&proto.Message{Type: proto.TypeRequest, From: n.id, Handle: k, Trace: traceID}); err != nil {
 			continue
 		}
 		for {

@@ -34,6 +34,7 @@ import (
 
 	"fixgo/internal/core"
 	"fixgo/internal/objstore"
+	"fixgo/internal/obsv"
 	"fixgo/internal/proto"
 	"fixgo/internal/runtime"
 	"fixgo/internal/stats"
@@ -94,6 +95,13 @@ type NodeOptions struct {
 	// ring (default objstore.DefaultVnodes). All nodes in a cluster must
 	// agree on it, or their rings diverge.
 	RingVnodes int
+	// Tracer, when set, gives this node a local trace ring: delegated
+	// jobs arriving with a trace ID in their Job header are recorded
+	// under that same ID (eval span, outcome), so a worker's -debug-addr
+	// can answer "what did the gateway's trace abc do here". Nil disables
+	// worker-side recording; spans still flow back to the delegator via
+	// the Result header's EvalNS field.
+	Tracer *obsv.Tracer
 }
 
 func (o NodeOptions) withDefaults() NodeOptions {
@@ -233,6 +241,7 @@ type fetchWait struct {
 
 type jobResult struct {
 	result core.Handle
+	evalNS int64 // the worker's eval wall time, from the Result header
 	err    error
 }
 
@@ -287,6 +296,23 @@ func (n *Node) Engine() *runtime.Engine { return n.eng }
 
 // Stats returns the node's CPU-state collector.
 func (n *Node) Stats() *stats.Collector { return n.eng.Stats() }
+
+// SetTracer installs the worker-side tracer after construction — the
+// registry owning its stage histogram (NewNodeMetrics) needs the node
+// first, so the boot path closes the loop with this setter before
+// attaching any peer.
+func (n *Node) SetTracer(tr *obsv.Tracer) {
+	n.mu.Lock()
+	n.opts.Tracer = tr
+	n.mu.Unlock()
+}
+
+// tracer reads the worker-side tracer (nil when tracing is off).
+func (n *Node) tracer() *obsv.Tracer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.opts.Tracer
+}
 
 // Eval evaluates a Fix object, with the distributed scheduler free to
 // place work anywhere in the cluster.
@@ -643,7 +669,7 @@ func (n *Node) handle(m *proto.Message) {
 		waiters := n.jobW[m.Handle]
 		delete(n.jobW, m.Handle)
 		n.mu.Unlock()
-		res := jobResult{result: m.Result}
+		res := jobResult{result: m.Result, evalNS: m.EvalNS}
 		if m.Err != "" {
 			res.err = fmt.Errorf("cluster: remote job on %s failed: %s", m.From, m.Err)
 		}
@@ -750,16 +776,32 @@ func (n *Node) serveJob(m *proto.Message) {
 	// waiting on us (a distributed deadlock). Its children may still be
 	// outsourced.
 	ctx := withReceived(withHops(context.Background(), int(m.Hops)), m.Handle)
+	var t *obsv.Trace
+	tracer := n.tracer()
+	if tracer != nil && m.Trace != "" {
+		t = tracer.StartWithID(m.Trace, "remote_job")
+		ctx = obsv.WithTrace(ctx, t)
+	}
+	evalStart := time.Now()
 	res, err := n.eng.Eval(ctx, m.Handle)
-	reply := &proto.Message{Type: proto.TypeResult, From: n.id, Handle: m.Handle, Result: res}
+	evalDur := time.Since(evalStart)
+	t.AddSpanAt("eval", n.id, evalStart, evalDur)
+	reply := &proto.Message{
+		Type: proto.TypeResult, From: n.id, Handle: m.Handle,
+		Result: res, EvalNS: evalDur.Nanoseconds(),
+	}
 	if err != nil {
+		t.SetOutcome("error")
 		reply.Err = err.Error()
 	} else {
 		closure := n.closureOf(res)
 		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: closure})
 		// Eval outputs are writes too: a result living only on the worker
 		// that computed it would vanish with that worker.
-		n.replicate(closure, false)
+		n.replicate(closure, false, m.Trace)
+	}
+	if t != nil {
+		tracer.Finish(t)
 	}
 	n.mu.Lock()
 	p := n.peers[m.From]

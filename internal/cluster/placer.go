@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"fixgo/internal/core"
+	"fixgo/internal/obsv"
 	"fixgo/internal/proto"
 )
 
@@ -47,6 +49,8 @@ func (n *Node) Offload(ctx context.Context, enc core.Handle) (core.Handle, bool,
 	if !ok {
 		return core.Handle{}, false, nil
 	}
+	t := obsv.FromContext(ctx)
+	placeStart := time.Now()
 	tried := make(map[string]bool) // peers this job already died on
 	replaced := 0
 	for {
@@ -89,7 +93,11 @@ func (n *Node) Offload(ctx context.Context, enc core.Handle) (core.Handle, bool,
 			tried[target] = true // raced away between snapshot and pick
 			continue
 		}
+		// One placement span per attempt: re-placements after a worker
+		// death show up as additional placement/delegate span pairs.
+		t.AddSpanAt("placement", "", placeStart, time.Since(placeStart))
 		res, err := n.delegate(ctx, p, enc, deps)
+		placeStart = time.Now()
 		var lost *PeerLostError
 		if err == nil || !errors.As(err, &lost) {
 			// Success, or a deterministic remote failure (the job itself
@@ -294,11 +302,18 @@ func (n *Node) delegate(ctx context.Context, p *peer, enc core.Handle, deps []de
 	n.mu.Unlock()
 	defer n.pendingDec(p.id)
 
+	t := obsv.FromContext(ctx)
+	var traceID string
+	if t != nil {
+		traceID = t.ID
+	}
+	sp := t.StartSpan("delegate", p.id)
 	msg := &proto.Message{
 		Type:   proto.TypeJob,
 		From:   n.id,
 		Handle: enc,
 		Hops:   uint8(hopsOf(ctx) + 1),
+		Trace:  traceID,
 		Pushed: pushed,
 	}
 	if err := p.send(msg); err != nil {
@@ -307,6 +322,13 @@ func (n *Node) delegate(ctx context.Context, p *peer, enc core.Handle, deps []de
 	}
 	select {
 	case res := <-w.ch:
+		sp.End()
+		if res.evalNS > 0 {
+			// The worker reports its eval wall time in the Result header;
+			// attribute it so the delegate span decomposes into transit
+			// plus remote compute.
+			t.AddSpanDur("remote_eval", p.id, time.Duration(res.evalNS))
+		}
 		if res.err == nil {
 			n.mu.Lock()
 			n.viewAddLocked(res.result, p.id)

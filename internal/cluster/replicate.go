@@ -100,8 +100,11 @@ func (n *Node) replicaTargetsLocked(k core.Handle) []*peer {
 // node lock, sends happen on a goroutine so a slow replica link never
 // blocks the write path (the writer's synchronous local copy is the
 // durability floor; the R−1 pushes converge behind it). repair marks
-// sends triggered by an anti-entropy pass for the stats split.
-func (n *Node) replicate(handles []core.Handle, repair bool) {
+// sends triggered by an anti-entropy pass for the stats split. traceID,
+// when non-empty, stamps each Replicate message with the trace that
+// produced the objects (eval outputs), so replica holders can attribute
+// the ingest; repair and standalone uploads pass "".
+func (n *Node) replicate(handles []core.Handle, repair bool, traceID string) {
 	if n.opts.Replicas <= 1 || len(handles) == 0 || n.isClosed() {
 		return
 	}
@@ -149,7 +152,7 @@ func (n *Node) replicate(handles []core.Handle, repair bool) {
 		for _, ps := range pushes {
 			// A send error means the target died mid-push; its eviction
 			// triggers the next repair pass, which re-covers this key.
-			_ = ps.p.send(&proto.Message{Type: proto.TypeReplicate, From: n.id, Handle: ps.k, Data: ps.data})
+			_ = ps.p.send(&proto.Message{Type: proto.TypeReplicate, From: n.id, Handle: ps.k, Trace: traceID, Data: ps.data})
 		}
 	}()
 }
@@ -177,5 +180,5 @@ func (n *Node) repairPass() {
 	n.mu.Lock()
 	n.net.RepairPasses++
 	n.mu.Unlock()
-	n.replicate(handles, true)
+	n.replicate(handles, true, "")
 }

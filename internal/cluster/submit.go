@@ -22,7 +22,7 @@ func (n *Node) PutBlob(data []byte) core.Handle {
 	h := n.st.PutBlob(data)
 	if !h.IsLiteral() {
 		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
-		n.replicate([]core.Handle{h}, false)
+		n.replicate([]core.Handle{h}, false, "")
 	}
 	return h
 }
@@ -36,7 +36,7 @@ func (n *Node) PutTree(entries []core.Handle) (core.Handle, error) {
 		return core.Handle{}, err
 	}
 	n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
-	n.replicate([]core.Handle{h}, false)
+	n.replicate([]core.Handle{h}, false, "")
 	return h, nil
 }
 

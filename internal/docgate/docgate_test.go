@@ -24,6 +24,7 @@ var gatedPackages = []string{
 	"../../internal/objstore",
 	"../../internal/transport",
 	"../../internal/durable",
+	"../../internal/obsv",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported top-level
@@ -131,7 +132,7 @@ var gatedDocs = []string{
 // gate — fails CI.
 var gatedBenchIDs = []string{
 	"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10",
-	"gateway", "durable", "jobs", "cluster", "replication",
+	"gateway", "durable", "jobs", "cluster", "replication", "trace",
 }
 
 // benchResult mirrors bench.JSONResult field for field; decoding with

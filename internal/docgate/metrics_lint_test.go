@@ -1,0 +1,74 @@
+package docgate
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"testing"
+
+	"fixgo/internal/cluster"
+	"fixgo/internal/durable"
+	"fixgo/internal/gateway"
+	"fixgo/internal/obsv"
+)
+
+// familyName is the naming contract for every metric family this repo
+// serves: a fixgate_/fixpoint_ prefix and lowercase snake_case.
+var familyName = regexp.MustCompile(`^(fixgate|fixpoint)_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// TestMetricFamiliesNamedAndDocumented builds the real registries — the
+// gateway's (with cluster, async, durable, and tenant sections active)
+// and a worker's — and requires every family they emit to follow the
+// naming contract and to appear in ARCHITECTURE.md's metric table.
+// Families are assembled at scrape time ("fixgate_" + name inside the
+// collectors), so only constructing the registries sees them all; a
+// source scan would not.
+func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
+	arch, err := os.ReadFile("../../ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gateway over a client-only cluster node, with every optional
+	// stats section switched on.
+	edge := cluster.NewNode("edge", cluster.NodeOptions{Cores: 1, ClientOnly: true})
+	defer edge.Close()
+	srv, err := gateway.NewServer(gateway.Options{
+		Backend:       edge,
+		CacheEntries:  16,
+		AsyncWorkers:  1,
+		DurableStats:  func() durable.Stats { return durable.Stats{} },
+		PersistErrors: func() uint64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// One tenant-attributed upload so the tenant-labeled families emit.
+	req := httptest.NewRequest("POST", "/v1/blobs", bytes.NewReader([]byte("lint-probe")))
+	req.Header.Set(gateway.TenantHeader, "lint")
+	srv.Handler().ServeHTTP(httptest.NewRecorder(), req)
+
+	// A worker's registry, durable section included.
+	worker := cluster.NewNode("w0", cluster.NodeOptions{Cores: 1})
+	defer worker.Close()
+	workerReg, _ := cluster.NewNodeMetrics(worker, func() durable.Stats { return durable.Stats{} })
+
+	lint := func(origin string, reg *obsv.Registry) {
+		fams := reg.Snapshot()
+		if len(fams) == 0 {
+			t.Fatalf("%s: registry emitted no families", origin)
+		}
+		for _, f := range fams {
+			if !familyName.MatchString(f.Name) {
+				t.Errorf("%s: family %q violates the fixgate_/fixpoint_ snake_case naming contract", origin, f.Name)
+			}
+			if !bytes.Contains(arch, []byte(f.Name)) {
+				t.Errorf("%s: family %q is not documented in ARCHITECTURE.md's metric table", origin, f.Name)
+			}
+		}
+	}
+	lint("gateway", srv.Metrics())
+	lint("worker", workerReg)
+}

@@ -106,6 +106,11 @@ type Options struct {
 	// Logf, when set, receives one line per notable event (recovered
 	// truncation, GC pass, persist failure).
 	Logf func(format string, args ...any)
+	// Observe, when set, receives the wall time of every persist
+	// operation, labeled by kind ("blob", "tree", "thunk memo", "encode
+	// memo") — the gateway feeds these into its persist-latency
+	// histogram so write-through stalls show up on /metrics.
+	Observe func(op string, took time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -333,25 +338,36 @@ func (d *Store) PersistBlob(h core.Handle, data []byte) error {
 	if h.IsLiteral() {
 		return nil
 	}
+	defer d.observe("blob", time.Now())
 	return d.persistFail("blob", h, d.appendObject(objectKey(h), data))
 }
 
 // PersistTree appends a Tree record unless it is already on disk.
 // Implements store.Persister.
 func (d *Store) PersistTree(h core.Handle, entries []core.Handle) error {
+	defer d.observe("tree", time.Now())
 	return d.persistFail("tree", h, d.appendObject(objectKey(h), core.EncodeTree(entries)))
 }
 
 // PersistThunkResult journals a Thunk memoization. Implements
 // store.Persister.
 func (d *Store) PersistThunkResult(thunk, result core.Handle) error {
+	defer d.observe("thunk memo", time.Now())
 	return d.persistFail("thunk memo", thunk, d.appendMemo(recThunk, thunk, result))
 }
 
 // PersistEncodeResult journals an Encode memoization. Implements
 // store.Persister.
 func (d *Store) PersistEncodeResult(encode, result core.Handle) error {
+	defer d.observe("encode memo", time.Now())
 	return d.persistFail("encode memo", encode, d.appendMemo(recEncode, encode, result))
+}
+
+// observe reports one persist operation's wall time to Options.Observe.
+func (d *Store) observe(op string, start time.Time) {
+	if d.opts.Observe != nil {
+		d.opts.Observe(op, time.Since(start))
+	}
 }
 
 // persistFail surfaces a write-through failure to the operator's log —

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -15,6 +14,7 @@ import (
 	"fixgo/internal/core"
 	"fixgo/internal/durable"
 	"fixgo/internal/jobs"
+	"fixgo/internal/obsv"
 )
 
 // Options configures a gateway Server.
@@ -57,6 +57,13 @@ type Options struct {
 	// TenantWeight, when set, maps a tenant to its fair-dequeue weight
 	// in the async queue (unset tenants weigh 1).
 	TenantWeight func(tenant string) int
+	// TraceEntries bounds the in-memory ring of finished request traces
+	// served at GET /v1/trace (default 512).
+	TraceEntries int
+	// DurableStats, when set, reports the durable store's snapshot so
+	// the fixgate_durable_* families and /v1/stats cover the persistence
+	// layer.
+	DurableStats func() durable.Stats
 	// Logf, when set, receives one line per request error.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxJSONBytes <= 0 {
 		o.MaxJSONBytes = 8 << 20
 	}
+	if o.TraceEntries <= 0 {
+		o.TraceEntries = 512
+	}
 	return o
 }
 
@@ -85,6 +95,14 @@ type Server struct {
 	jobs  *jobs.Manager // nil when async serving is disabled
 	adm   *admission
 	mux   *http.ServeMux
+
+	// Observability (initMetrics): every fixgate_* family lives in reg;
+	// tracer retains finished per-request traces for GET /v1/trace.
+	reg         *obsv.Registry
+	tracer      *obsv.Tracer
+	stageHist   *obsv.HistogramVec // fixgate_stage_seconds{stage}
+	reqHist     *obsv.Histogram    // fixgate_request_seconds
+	persistHist *obsv.HistogramVec // fixgate_persist_seconds{op}
 
 	mu      sync.Mutex
 	tenants map[string]*TenantStats
@@ -117,7 +135,10 @@ type Stats struct {
 	// replication snapshot (nil when the backend is not a cluster node):
 	// live peers, evictions, heartbeats, job re-placements, ring size,
 	// replica pushes and repair activity.
-	Cluster *cluster.NetStats       `json:"cluster,omitempty"`
+	Cluster *cluster.NetStats `json:"cluster,omitempty"`
+	// Durable is the durable store's snapshot (nil when persistence is
+	// not configured): object/memo counts, pack footprint, GC activity.
+	Durable *durable.Stats          `json:"durable,omitempty"`
 	Tenants map[string]*TenantStats `json:"tenants"`
 }
 
@@ -141,6 +162,7 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.CacheEntries > 0 {
 		s.cache = newResultCache(opts.CacheEntries)
 	}
+	s.initMetrics()
 	if opts.AsyncWorkers > 0 {
 		m, err := jobs.New(jobs.Options{
 			// The worker pool drains into the same evaluate path the
@@ -149,6 +171,18 @@ func NewServer(opts Options) (*Server, error) {
 			Eval: func(ctx context.Context, h core.Handle) (core.Handle, error) {
 				res, _, err := s.evaluate(ctx, h, s.adm.AcquireWait)
 				return res, err
+			},
+			// Async traces are anchored at enqueue, so the queue wait —
+			// the dominant stage under backlog — is the first span.
+			Trace: func(ctx context.Context, j jobs.Job) (context.Context, func(error)) {
+				t := s.tracer.StartAt("async", j.Enqueued)
+				t.AddSpanAt("queue_wait", "", j.Enqueued, time.Since(j.Enqueued))
+				return obsv.WithTrace(ctx, t), func(err error) {
+					if err != nil {
+						t.SetOutcome("error")
+					}
+					s.tracer.Finish(t)
+				}
 			},
 			Workers:     opts.AsyncWorkers,
 			MaxQueue:    opts.AsyncQueueDepth,
@@ -173,6 +207,8 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace", s.handleTraceDigest)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
@@ -233,6 +269,10 @@ func (s *Server) Stats() Stats {
 		cs := ns.NetStats()
 		out.Cluster = &cs
 	}
+	if s.opts.DurableStats != nil {
+		ds := s.opts.DurableStats()
+		out.Durable = &ds
+	}
 	for name, t := range s.tenants {
 		cp := *t
 		out.Tenants[name] = &cp
@@ -256,6 +296,10 @@ func (s *Server) tenant(r *http.Request) *TenantStats {
 // identity.
 const TenantHeader = "X-Fix-Tenant"
 
+// TraceHeader names the response header carrying the request's trace ID
+// (resolve it at GET /v1/trace/{id}).
+const TraceHeader = "X-Fix-Trace"
+
 // Wire types of the JSON API.
 type (
 	// HandleReply carries a newly ingested object's Handle.
@@ -278,7 +322,11 @@ type (
 		Result    string `json:"result"`
 		Outcome   string `json:"outcome"` // hit | miss | collapsed | bypass
 		ElapsedNS int64  `json:"elapsed_ns"`
-		Data      []byte `json:"data,omitempty"` // base64 via encoding/json
+		// Trace is the request's trace ID; GET /v1/trace/{id} returns
+		// the per-stage timing breakdown (also in the X-Fix-Trace
+		// response header).
+		Trace string `json:"trace,omitempty"`
+		Data  []byte `json:"data,omitempty"` // base64 via encoding/json
 	}
 	// ErrorReply reports a failed request.
 	ErrorReply struct {
@@ -388,8 +436,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	result, outcome, err := s.evaluate(r.Context(), h, s.adm.Acquire)
+	tc := s.tracer.Start("sync")
+	// The trace ID goes out as a header even on failure, so a client
+	// holding an error reply can still pull the timing breakdown.
+	w.Header().Set(TraceHeader, tc.ID)
+	defer s.tracer.Finish(tc)
+	result, outcome, err := s.evaluate(obsv.WithTrace(r.Context(), tc), h, s.adm.Acquire)
 	elapsed := time.Since(start)
+	s.reqHist.ObserveDuration(elapsed)
+	tc.AddSpanAt("gateway", "", start, elapsed)
+	if err != nil {
+		tc.SetOutcome("error")
+	} else {
+		tc.SetOutcome(string(outcome))
+	}
 
 	s.mu.Lock()
 	t.Jobs++
@@ -425,9 +485,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Result:    FormatHandle(result),
 		Outcome:   string(outcome),
 		ElapsedNS: elapsed.Nanoseconds(),
+		Trace:     tc.ID,
 	}
 	if req.IncludeData && result.Kind() == core.KindBlob {
+		sp := tc.StartSpan("result_fetch", "")
 		data, err := s.opts.Backend.ObjectBytes(r.Context(), result)
+		sp.End()
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, fmt.Errorf("result fetch: %w", err))
 			return
@@ -446,15 +509,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // async pool's AcquireWait (its work was already admitted with a 202,
 // so overload means waiting, not burning the job's retry budget).
 func (s *Server) evaluate(ctx context.Context, h core.Handle, acquire func(context.Context) error) (core.Handle, CacheOutcome, error) {
+	t := obsv.FromContext(ctx)
 	if h.IsData() {
 		// Data evaluates to itself; don't spend cache or slots on it.
 		return h, OutcomeHit, nil
 	}
 	if s.cache == nil {
-		if err := acquire(ctx); err != nil {
+		sp := t.StartSpan("queue_wait", "")
+		err := acquire(ctx)
+		sp.End()
+		if err != nil {
 			return core.Handle{}, OutcomeBypass, err
 		}
 		defer s.adm.Release()
+		defer t.StartSpan("backend_eval", "").End()
 		res, err := s.opts.Backend.Eval(ctx, h)
 		return res, OutcomeBypass, err
 	}
@@ -462,84 +530,39 @@ func (s *Server) evaluate(ctx context.Context, h core.Handle, acquire func(conte
 	// evaluation, so it must not die with the leader's connection.
 	// Detach it from the request's cancellation (the admission queue
 	// bounds how many detached evaluations can pile up), and let each
-	// waiter's own ctx govern only its wait.
+	// waiter's own ctx govern only its wait. WithoutCancel keeps
+	// context values, so the leader's trace rides into the flight and
+	// collects the queue_wait/backend_eval (and cluster) spans.
 	flightCtx := context.WithoutCancel(ctx)
-	return s.cache.Do(ctx, h, func() (core.Handle, error) {
-		if err := acquire(flightCtx); err != nil {
+	doStart := time.Now()
+	res, outcome, err := s.cache.Do(ctx, h, func() (core.Handle, error) {
+		sp := t.StartSpan("queue_wait", "")
+		err := acquire(flightCtx)
+		sp.End()
+		if err != nil {
 			return core.Handle{}, err
 		}
 		defer s.adm.Release()
-		return s.opts.Backend.Eval(flightCtx, h)
+		bs := t.StartSpan("backend_eval", "")
+		res, err := s.opts.Backend.Eval(flightCtx, h)
+		bs.End()
+		return res, err
 	})
+	// Only the stages the *caller* experienced are attributed here: a
+	// hit spent its time in the lookup, a collapsed join spent it
+	// waiting on the leader's flight (whose own trace carries the
+	// evaluation spans).
+	switch outcome {
+	case OutcomeHit:
+		t.AddSpanAt("cache_lookup", "", doStart, time.Since(doStart))
+	case OutcomeCollapsed:
+		t.AddSpanAt("collapse_wait", "", doStart, time.Since(doStart))
+	}
+	return res, outcome, err
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, s.Stats())
-}
-
-// handleMetrics renders the counters in Prometheus text exposition
-// format.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	p := func(name string, v any) { fmt.Fprintf(w, "fixgate_%s %v\n", name, v) }
-	p("cache_hits_total", st.Cache.Hits)
-	p("cache_misses_total", st.Cache.Misses)
-	p("cache_collapsed_total", st.Cache.Collapsed)
-	p("cache_evicted_total", st.Cache.Evicted)
-	p("cache_errors_total", st.Cache.Errors)
-	p("cache_warmed_total", st.Cache.Warmed)
-	p("cache_entries", st.Cache.Entries)
-	p("cache_capacity", st.Cache.Capacity)
-	p("admission_in_flight", st.Admission.InFlight)
-	p("admission_waiting", st.Admission.Waiting)
-	p("admission_waiting_async", st.Admission.WaitingAsync)
-	p("admission_admitted_total", st.Admission.Admitted)
-	p("admission_queued_total", st.Admission.Queued)
-	p("admission_rejected_total", st.Admission.Rejected)
-	p("jobs_ok_total", st.JobsOK)
-	p("jobs_failed_total", st.JobsFail)
-	p("persist_errors_total", st.PersistErrors)
-	if st.Cluster != nil {
-		p("cluster_peers", st.Cluster.Peers)
-		p("cluster_peers_evicted_total", st.Cluster.Evicted)
-		p("cluster_heartbeats_sent_total", st.Cluster.HeartbeatsSent)
-		p("cluster_jobs_delegated_total", st.Cluster.JobsDelegated)
-		p("cluster_jobs_replaced_total", st.Cluster.JobsReplaced)
-		p("cluster_jobs_local_fallback_total", st.Cluster.JobsLocalFallback)
-		p("cluster_replace_failures_total", st.Cluster.ReplaceFailures)
-		p("cluster_replicas", st.Cluster.Replicas)
-		p("cluster_ring_members", st.Cluster.RingMembers)
-		p("cluster_replicas_sent_total", st.Cluster.ReplicasSent)
-		p("cluster_replicas_acked_total", st.Cluster.ReplicasAcked)
-		p("cluster_repair_passes_total", st.Cluster.RepairPasses)
-		p("cluster_repair_replicas_sent_total", st.Cluster.RepairReplicasSent)
-	}
-	if st.Jobs != nil {
-		p("async_workers", st.Jobs.Workers)
-		p("async_queue_depth", st.Jobs.Depth)
-		p("async_running", st.Jobs.Running)
-		p("async_oldest_pending_age_seconds", float64(st.Jobs.OldestPendingAgeNS)/1e9)
-		p("async_jobs_done", st.Jobs.Done)
-		p("async_jobs_deadletter", st.Jobs.DeadLetter)
-		p("async_jobs_cancelled", st.Jobs.Cancelled)
-		p("async_enqueued_total", st.Jobs.Enqueued)
-		p("async_completed_total", st.Jobs.Completed)
-		p("async_failed_attempts_total", st.Jobs.Failed)
-		p("async_retried_total", st.Jobs.Retried)
-		p("async_cancelled_total", st.Jobs.CancelledTotal)
-		p("async_deduped_total", st.Jobs.Deduped)
-	}
-	names := make([]string, 0, len(st.Tenants))
-	for name := range st.Tenants {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		t := st.Tenants[name]
-		fmt.Fprintf(w, "fixgate_tenant_jobs_total{tenant=%q} %d\n", name, t.Jobs)
-		fmt.Fprintf(w, "fixgate_tenant_hits_total{tenant=%q} %d\n", name, t.Hits)
-	}
 }
 
 func (s *Server) reply(w http.ResponseWriter, code int, v any) {

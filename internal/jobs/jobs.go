@@ -167,6 +167,14 @@ type Options struct {
 	// Logf, when set, receives one line per notable event (replay,
 	// compaction, dead-lettered job).
 	Logf func(format string, args ...any)
+	// Trace, when set, wraps each dequeued attempt's evaluation: called
+	// with the attempt's context and the job snapshot as a worker picks
+	// the job up, it returns the context to evaluate under (typically
+	// carrying a per-request trace) and a finish callback invoked with
+	// the attempt's outcome. The gateway uses it to mint async traces
+	// anchored at the job's enqueue time, so queue wait is a visible
+	// span.
+	Trace func(ctx context.Context, j Job) (context.Context, func(err error))
 }
 
 func (o Options) withDefaults() Options {
@@ -851,9 +859,16 @@ func (m *Manager) worker() {
 		})
 		m.publishLocked(jb)
 		h := jb.view.Handle
+		view := jb.view
 		m.running++
 		m.mu.Unlock()
 		m.syncAlways()
+
+		evalCtx := ctx
+		var traceDone func(error)
+		if m.opts.Trace != nil {
+			evalCtx, traceDone = m.opts.Trace(ctx, view)
+		}
 
 		// Run the evaluation in a child goroutine so shutdown does not
 		// block on a backend that cannot observe cancellation: on Close
@@ -867,7 +882,7 @@ func (m *Manager) worker() {
 		}
 		ch := make(chan evalOut, 1)
 		go func() {
-			r, err := m.opts.Eval(ctx, h)
+			r, err := m.opts.Eval(evalCtx, h)
 			ch <- evalOut{r, err}
 		}()
 		var out evalOut
@@ -879,6 +894,9 @@ func (m *Manager) worker() {
 		}
 		cancel()
 		result, err := out.result, out.err
+		if traceDone != nil && !interrupted {
+			traceDone(err)
+		}
 
 		m.mu.Lock()
 		m.running--

@@ -1,0 +1,71 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// DebugMux builds the opt-in debug endpoint both daemons serve on
+// -debug-addr: the full net/http/pprof suite under /debug/pprof/, the
+// process registry at /metrics, and (when a tracer is supplied) the
+// trace ring at /v1/trace/{id} and /v1/trace?slowest=N. Either argument
+// may be nil; the corresponding routes are simply absent.
+func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", ContentType)
+			_, _ = reg.WritePrometheus(w)
+		})
+	}
+	if tr != nil {
+		mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+			ServeTraceDigest(tr, w, r)
+		})
+		mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+			ServeTrace(tr, w, r.PathValue("id"))
+		})
+	}
+	return mux
+}
+
+// ServeTrace writes the JSON view of one finished trace, or 404 if the
+// ring no longer holds it.
+func ServeTrace(tr *Tracer, w http.ResponseWriter, id string) {
+	id = strings.TrimSpace(id)
+	v, ok := tr.Get(id)
+	if !ok {
+		http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ServeTraceDigest writes the slow-request digest; ?slowest=N bounds the
+// trace list (default 10).
+func ServeTraceDigest(tr *Tracer, w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if s := r.URL.Query().Get("slowest"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 || v > 1000 {
+			http.Error(w, `{"error":"slowest must be 1..1000"}`, http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(tr.Slowest(n))
+}

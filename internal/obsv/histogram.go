@@ -1,0 +1,133 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the fixed exponential upper bounds (seconds) every
+// Histogram uses: 50µs doubling to ~26s, which brackets everything from
+// a cache hit at the edge to a multi-hop cold dataflow. Fixed buckets
+// keep scrapes byte-comparable across processes and make the p50/p95/p99
+// derivation deterministic.
+var latencyBuckets = func() []float64 {
+	out := make([]float64, 20)
+	b := 50e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket latency distribution: per-bucket counts,
+// a running sum, and a total count, all maintained with atomics so
+// Observe never takes a lock on the hot path.
+type Histogram struct {
+	counts []atomic.Uint64 // one per bucket, +Inf last
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+// Observe records one measurement in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+seconds)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one measurement.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of observations in seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation within the bucket the target rank falls in. The +Inf
+// bucket reports the last finite bound (the estimate saturates rather
+// than extrapolating). Zero observations report 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= target {
+			if i >= len(latencyBuckets) {
+				return latencyBuckets[len(latencyBuckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := latencyBuckets[i]
+			frac := (target - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// flatten expands the histogram into the _bucket/_sum/_count exposition
+// samples with the given base labels.
+func (h *Histogram) flatten(name string, labels []Label) []FlatSample {
+	out := make([]FlatSample, 0, len(h.counts)+2)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(latencyBuckets) {
+			le = formatValue(latencyBuckets[i])
+		}
+		out = append(out, FlatSample{
+			Name:   name + "_bucket",
+			Labels: append(append([]Label{}, labels...), Label{Key: "le", Value: le}),
+			Value:  float64(cum),
+		})
+	}
+	out = append(out,
+		FlatSample{Name: name + "_count", Labels: labels, Value: float64(h.count.Load())},
+		FlatSample{Name: name + "_sum", Labels: labels, Value: h.Sum()},
+	)
+	return out
+}
+
+// QuantileString renders p50/p95/p99 compactly ("p50=1.2ms p95=8ms
+// p99=16ms") for logs and digests.
+func (h *Histogram) QuantileString() string {
+	return fmt.Sprintf("p50=%s p95=%s p99=%s",
+		time.Duration(h.Quantile(0.50)*1e9).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.95)*1e9).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.99)*1e9).Round(time.Microsecond))
+}

@@ -57,6 +57,8 @@ type Message struct {
 	Handle  core.Handle    // Request/Object/Missing/Job/Result/Replicate/ReplicateAck: subject
 	Result  core.Handle    // Result: outcome handle
 	Hops    uint8          // Job: delegation hop count
+	Trace   string         // Job/Request/Replicate: originating trace ID (may be empty)
+	EvalNS  int64          // Result: the worker's eval wall time in nanoseconds
 	Err     string         // Result: error, empty on success
 	Data    []byte         // Object/Replicate: payload bytes
 	Adverts []core.Handle  // Hello/Advertise
@@ -84,16 +86,24 @@ func (m *Message) Encode() []byte {
 		for _, h := range m.Adverts {
 			buf = append(buf, h[:]...)
 		}
-	case TypeRequest, TypeMissing:
+	case TypeRequest:
 		buf = append(buf, m.Handle[:]...)
-	case TypeObject, TypeReplicate:
+		buf = appendString(buf, m.Trace)
+	case TypeMissing:
 		buf = append(buf, m.Handle[:]...)
+	case TypeObject:
+		buf = append(buf, m.Handle[:]...)
+		buf = appendBytes(buf, m.Data)
+	case TypeReplicate:
+		buf = append(buf, m.Handle[:]...)
+		buf = appendString(buf, m.Trace)
 		buf = appendBytes(buf, m.Data)
 	case TypeReplicateAck:
 		buf = append(buf, m.Handle[:]...)
 	case TypeJob:
 		buf = append(buf, m.Handle[:]...)
 		buf = append(buf, m.Hops)
+		buf = appendString(buf, m.Trace)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Pushed)))
 		for _, p := range m.Pushed {
 			buf = append(buf, p.Handle[:]...)
@@ -102,6 +112,7 @@ func (m *Message) Encode() []byte {
 	case TypeResult:
 		buf = append(buf, m.Handle[:]...)
 		buf = append(buf, m.Result[:]...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.EvalNS))
 		buf = appendString(buf, m.Err)
 	case TypePing, TypePong:
 		// Liveness probes carry only the sender identity.
@@ -126,16 +137,24 @@ func Decode(data []byte) (*Message, error) {
 		for i := range m.Adverts {
 			m.Adverts[i] = d.handle()
 		}
-	case TypeRequest, TypeMissing:
+	case TypeRequest:
 		m.Handle = d.handle()
-	case TypeObject, TypeReplicate:
+		m.Trace = d.str()
+	case TypeMissing:
 		m.Handle = d.handle()
+	case TypeObject:
+		m.Handle = d.handle()
+		m.Data = d.bytes()
+	case TypeReplicate:
+		m.Handle = d.handle()
+		m.Trace = d.str()
 		m.Data = d.bytes()
 	case TypeReplicateAck:
 		m.Handle = d.handle()
 	case TypeJob:
 		m.Handle = d.handle()
 		m.Hops = d.u8()
+		m.Trace = d.str()
 		n := d.u32()
 		if uint64(n)*core.HandleSize > uint64(len(data)) {
 			return nil, fmt.Errorf("proto: push count %d too large", n)
@@ -148,6 +167,7 @@ func Decode(data []byte) (*Message, error) {
 	case TypeResult:
 		m.Handle = d.handle()
 		m.Result = d.handle()
+		m.EvalNS = int64(d.u64())
 		m.Err = d.str()
 	case TypePing, TypePong:
 		// No payload beyond the sender identity.
@@ -187,6 +207,7 @@ func (d *decoder) take(n int) []byte {
 
 func (d *decoder) u8() byte    { return d.take(1)[0] }
 func (d *decoder) u32() uint32 { return binary.LittleEndian.Uint32(d.take(4)) }
+func (d *decoder) u64() uint64 { return binary.LittleEndian.Uint64(d.take(8)) }
 
 func (d *decoder) str() string {
 	n := int(binary.LittleEndian.Uint16(d.take(2)))

@@ -53,6 +53,7 @@ func TestJobRoundTrip(t *testing.T) {
 		From:   "client",
 		Handle: enc,
 		Hops:   2,
+		Trace:  "deadbeefcafef00d",
 		Pushed: []PushedObject{
 			{Handle: tree, Data: core.EncodeTree([]core.Handle{core.LiteralU64(1)})},
 			{Handle: core.BlobHandle(bytes.Repeat([]byte{1}, 64)), Data: bytes.Repeat([]byte{1}, 64)},
@@ -61,6 +62,9 @@ func TestJobRoundTrip(t *testing.T) {
 	got := roundTrip(t, m)
 	if got.Handle != enc || got.Hops != 2 || len(got.Pushed) != 2 {
 		t.Fatalf("got %+v", got)
+	}
+	if got.Trace != "deadbeefcafef00d" {
+		t.Fatalf("trace id lost: %q", got.Trace)
 	}
 	if got.Pushed[0].Handle != tree || len(got.Pushed[1].Data) != 64 {
 		t.Fatal("pushed objects mismatch")
@@ -71,10 +75,13 @@ func TestResultRoundTrip(t *testing.T) {
 	tree := core.TreeHandle(nil)
 	thunk, _ := core.Application(tree)
 	enc, _ := core.Strict(thunk)
-	m := &Message{Type: TypeResult, From: "n2", Handle: enc, Result: core.LiteralU64(7), Err: "boom"}
+	m := &Message{Type: TypeResult, From: "n2", Handle: enc, Result: core.LiteralU64(7), EvalNS: 1234567, Err: "boom"}
 	got := roundTrip(t, m)
 	if got.Handle != enc || got.Result != core.LiteralU64(7) || got.Err != "boom" {
 		t.Fatalf("got %+v", got)
+	}
+	if got.EvalNS != 1234567 {
+		t.Fatalf("eval duration lost: %d", got.EvalNS)
 	}
 }
 
@@ -86,6 +93,11 @@ func TestRequestMissingRoundTrip(t *testing.T) {
 		if got.Type != typ || got.Handle != h {
 			t.Fatalf("type %d mismatch", typ)
 		}
+	}
+	// Requests carry the originating trace ID; Missing replies do not.
+	m := &Message{Type: TypeRequest, From: "x", Handle: h, Trace: "0123456789abcdef"}
+	if got := roundTrip(t, m); got.Trace != "0123456789abcdef" {
+		t.Fatalf("request trace lost: %q", got.Trace)
 	}
 }
 
@@ -102,10 +114,13 @@ func TestPingPongRoundTrip(t *testing.T) {
 func TestReplicateRoundTrip(t *testing.T) {
 	data := bytes.Repeat([]byte{8}, 700)
 	h := core.BlobHandle(data)
-	m := &Message{Type: TypeReplicate, From: "w1", Handle: h, Data: data}
+	m := &Message{Type: TypeReplicate, From: "w1", Handle: h, Trace: "feedface00000001", Data: data}
 	got := roundTrip(t, m)
 	if got.Type != TypeReplicate || got.Handle != h || !bytes.Equal(got.Data, data) {
 		t.Fatal("replicate mismatch")
+	}
+	if got.Trace != "feedface00000001" {
+		t.Fatalf("replicate trace lost: %q", got.Trace)
 	}
 
 	ack := &Message{Type: TypeReplicateAck, From: "w2", Handle: h}
