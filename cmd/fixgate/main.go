@@ -31,7 +31,8 @@
 // survive worker loss (see OPERATIONS.md).
 //
 // Endpoints: POST /v1/blobs, GET /v1/blobs/{handle}, POST /v1/trees,
-// POST /v1/jobs (sync or ?mode=async), GET/DELETE /v1/jobs/{id},
+// POST /v1/jobs (sync or ?mode=async), POST /v1/jobs:batch (up to
+// -max-batch submissions in one request), GET/DELETE /v1/jobs/{id},
 // GET /v1/jobs/{id}/events (SSE), GET /v1/jobs, GET /v1/stats,
 // GET /metrics. See README.md for the full API reference.
 package main
@@ -69,6 +70,8 @@ func main() {
 	cores := flag.Int("cores", 8, "CPU slots (in-process engine mode)")
 	memGiB := flag.Uint64("mem-gib", 16, "RAM capacity in GiB (in-process engine mode)")
 	cacheEntries := flag.Int("cache", 4096, "result cache entries (0 disables caching and collapsing)")
+	cacheShards := flag.Int("cache-shards", 16, "independently locked result-cache shards (1 restores the single-mutex cache)")
+	maxBatch := flag.Int("max-batch", 256, "items allowed in one POST /v1/jobs:batch submission (413 beyond)")
 	maxInFlight := flag.Int("max-inflight", 64, "concurrent backend evaluations")
 	maxQueue := flag.Int("max-queue", 256, "queued submissions before load-shedding with 429")
 	dataDir := flag.String("data-dir", "", "directory for the durable object/memo store (empty: in-memory only)")
@@ -177,6 +180,8 @@ func main() {
 	gwOpts := gateway.Options{
 		Backend:         backend,
 		CacheEntries:    *cacheEntries,
+		CacheShards:     *cacheShards,
+		MaxBatchItems:   *maxBatch,
 		MaxInFlight:     *maxInFlight,
 		MaxQueue:        *maxQueue,
 		PersistErrors:   backing.PersistErrors,
@@ -244,8 +249,8 @@ func main() {
 	if clustered {
 		mode = "cluster client"
 	}
-	fmt.Printf("fixgate: serving on %s (%s, cache=%d, inflight=%d, queue=%d)\n",
-		*listen, mode, *cacheEntries, *maxInFlight, *maxQueue)
+	fmt.Printf("fixgate: serving on %s (%s, cache=%d×%d shards, inflight=%d, queue=%d)\n",
+		*listen, mode, *cacheEntries, *cacheShards, *maxInFlight, *maxQueue)
 	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
 		fatal(err)
 	}

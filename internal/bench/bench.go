@@ -76,6 +76,8 @@ type Scale struct {
 	GateLinkLatency time.Duration // edge ↔ worker propagation delay
 	GateMaxInFlight int           // gateway admission slots
 	GateCache       int           // result-cache entries
+	GateShards      int           // cache shards for the sharded/batched rows
+	GateBatchSize   int           // items per POST /v1/jobs:batch submission
 
 	// Durable persistence experiment (internal/durable).
 	DurObjects   int // objects written through and recovered (paper-scale: 1M)
@@ -155,6 +157,8 @@ func DefaultScale() Scale {
 		GateLinkLatency: 500 * time.Microsecond,
 		GateMaxInFlight: 4,
 		GateCache:       4096,
+		GateShards:      16,
+		GateBatchSize:   64,
 
 		DurObjects:   10000,
 		DurBlobBytes: 128,

@@ -26,17 +26,36 @@ import (
 // answers them at the edge — no admission slot, no engine walk, no
 // cluster. The no-cache configuration queues every submission behind the
 // in-flight cold work, so under load its duplicate requests pay
-// milliseconds of admission wait for a memoized answer. Reported per
-// configuration: mean request latency (the table value), throughput, and
-// p50/p99, plus the cache's hit/collapse counters.
+// milliseconds of admission wait for a memoized answer.
+//
+// Four configurations sweep the duplicate ratio:
+//
+//   - "result cache": the single-mutex cache (1 shard) — the historical
+//     rows, kept shard-free so they stay comparable across revisions;
+//   - "no cache": every submission pays admission and the cluster;
+//   - "sharded cache": the hash-sharded cache, single submissions — what
+//     sharding the hot path buys on its own;
+//   - "batched submit": sharded cache plus POST /v1/jobs:batch — each
+//     client ships GateBatchSize submissions per round trip, so the
+//     duplicate-heavy path amortizes HTTP, JSON, admission, and the
+//     backend hand-off across the whole batch.
+//
+// Reported per configuration: mean request latency (the table value),
+// throughput, and p50/p99, plus the cache's hit/collapse counters.
 func FigGate(s Scale) (Result, error) {
 	res := Result{ID: "gateway", Title: "gateway serving: result cache and request collapsing"}
 	if len(s.GateDupRatios) == 0 {
 		s.GateDupRatios = []float64{0, 0.5, 0.9}
 	}
-	for _, cached := range []bool{true, false} {
+	if s.GateShards <= 0 {
+		s.GateShards = 16
+	}
+	if s.GateBatchSize <= 0 {
+		s.GateBatchSize = 16
+	}
+	for _, mode := range []gateMode{gateCached, gateNoCache, gateSharded, gateBatch} {
 		for _, d := range s.GateDupRatios {
-			row, note, err := gateConfig(s, cached, d)
+			row, note, err := gateConfig(s, mode, d)
 			if err != nil {
 				return res, err
 			}
@@ -46,12 +65,37 @@ func FigGate(s Scale) (Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("%d closed-loop clients × %d requests, %d workers, %v service time, %v links, %d admission slots",
-			s.GateClients, s.GateRequests, s.GateWorkers, s.GateServiceTime, s.GateLinkLatency, s.GateMaxInFlight))
+			s.GateClients, s.GateRequests, s.GateWorkers, s.GateServiceTime, s.GateLinkLatency, s.GateMaxInFlight),
+		fmt.Sprintf("sharded rows: %d shards; batched rows: %d items per POST /v1/jobs:batch (throughput counts items)",
+			s.GateShards, s.GateBatchSize))
 	return res, nil
 }
 
-// gateConfig runs one (cache, duplicate-ratio) cell on a fresh cluster.
-func gateConfig(s Scale, cached bool, dupRatio float64) (Row, string, error) {
+// gateMode selects one gateway configuration cell.
+type gateMode int
+
+const (
+	gateCached  gateMode = iota // single-mutex cache (1 shard), single submissions
+	gateNoCache                 // cache disabled
+	gateSharded                 // hash-sharded cache, single submissions
+	gateBatch                   // hash-sharded cache, batched submissions
+)
+
+func (m gateMode) name(s Scale) string {
+	switch m {
+	case gateCached:
+		return "result cache"
+	case gateNoCache:
+		return "no cache"
+	case gateSharded:
+		return fmt.Sprintf("sharded cache (%d shards)", s.GateShards)
+	default:
+		return fmt.Sprintf("batched submit (batch=%d, %d shards)", s.GateBatchSize, s.GateShards)
+	}
+}
+
+// gateConfig runs one (mode, duplicate-ratio) cell on a fresh cluster.
+func gateConfig(s Scale, mode gateMode, dupRatio float64) (Row, string, error) {
 	// Workers execute "gwork": a modeled service-time sleep.
 	reg := runtime.NewRegistry()
 	reg.RegisterFunc("gwork", func(api core.API, input core.Handle) (core.Handle, error) {
@@ -81,15 +125,20 @@ func gateConfig(s Scale, cached bool, dupRatio float64) (Row, string, error) {
 	}
 	cluster.FullMesh(transport.LinkConfig{Latency: s.GateLinkLatency}, workers...)
 
-	cacheEntries := 0
-	if cached {
-		cacheEntries = s.GateCache
+	cacheEntries, shards := s.GateCache, 1
+	switch mode {
+	case gateNoCache:
+		cacheEntries = 0
+	case gateSharded, gateBatch:
+		shards = s.GateShards
 	}
 	srv, err := gateway.NewServer(gateway.Options{
-		Backend:      edge,
-		CacheEntries: cacheEntries,
-		MaxInFlight:  s.GateMaxInFlight,
-		MaxQueue:     s.GateClients * s.GateRequests, // never shed in-bench
+		Backend:       edge,
+		CacheEntries:  cacheEntries,
+		CacheShards:   shards,
+		MaxBatchItems: s.GateBatchSize,
+		MaxInFlight:   s.GateMaxInFlight,
+		MaxQueue:      s.GateClients * s.GateRequests, // never shed in-bench
 	})
 	if err != nil {
 		return Row{}, "", err
@@ -124,7 +173,15 @@ func gateConfig(s Scale, cached bool, dupRatio float64) (Row, string, error) {
 
 	var coldID atomic.Uint64
 	coldID.Store(1) // arg 1 is the hot job
-	total := s.GateClients * s.GateRequests
+	// Each of the GateRequests rounds per client submits one request —
+	// or, in batch mode, one batch of GateBatchSize items; throughput
+	// and latency are counted per item either way (every item in a
+	// batch experienced the batch's round-trip latency).
+	perRound := 1
+	if mode == gateBatch {
+		perRound = s.GateBatchSize
+	}
+	total := s.GateClients * s.GateRequests * perRound
 	latencies := make([]time.Duration, total)
 	var failed atomic.Int64
 
@@ -135,29 +192,61 @@ func gateConfig(s Scale, cached bool, dupRatio float64) (Row, string, error) {
 		go func(ci int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(ci) + 1))
+			pick := func() (core.Handle, bool) {
+				if rng.Float64() < dupRatio {
+					return hot, true
+				}
+				j, err := buildJob(coldID.Add(1))
+				if err != nil {
+					failed.Add(1)
+					return core.Handle{}, false
+				}
+				return j, true
+			}
 			for ri := 0; ri < s.GateRequests; ri++ {
-				job := hot
-				if rng.Float64() >= dupRatio {
-					j, err := buildJob(coldID.Add(1))
-					if err != nil {
+				base := (ci*s.GateRequests + ri) * perRound
+				if mode != gateBatch {
+					job, ok := pick()
+					if !ok {
+						continue
+					}
+					t0 := time.Now()
+					if _, err := c.Submit(ctx, job); err != nil {
 						failed.Add(1)
 						continue
 					}
-					job = j
-				}
-				t0 := time.Now()
-				if _, err := c.Submit(ctx, job); err != nil {
-					failed.Add(1)
+					latencies[base] = time.Since(t0)
 					continue
 				}
-				latencies[ci*s.GateRequests+ri] = time.Since(t0)
+				batch := make([]core.Handle, 0, perRound)
+				for bi := 0; bi < perRound; bi++ {
+					job, ok := pick()
+					if !ok {
+						return
+					}
+					batch = append(batch, job)
+				}
+				t0 := time.Now()
+				results, err := c.SubmitBatch(ctx, batch)
+				took := time.Since(t0)
+				if err != nil {
+					failed.Add(int64(perRound))
+					continue
+				}
+				for bi, r := range results {
+					if r.Err != nil {
+						failed.Add(1)
+						continue
+					}
+					latencies[base+bi] = took
+				}
 			}
 		}(ci)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	if n := failed.Load(); n > 0 {
-		return Row{}, "", fmt.Errorf("bench: gateway config (cache=%v d=%.0f%%): %d requests failed", cached, 100*dupRatio, n)
+		return Row{}, "", fmt.Errorf("bench: gateway config (%s d=%.0f%%): %d requests failed", mode.name(s), 100*dupRatio, n)
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -170,10 +259,7 @@ func gateConfig(s Scale, cached bool, dupRatio float64) (Row, string, error) {
 	mean := sum / time.Duration(total)
 	thr := float64(total) / wall.Seconds()
 
-	name := "no cache"
-	if cached {
-		name = "result cache"
-	}
+	name := mode.name(s)
 	st := srv.Stats()
 	row := Row{
 		System:   fmt.Sprintf("Fixgate %s, %.0f%% duplicates", name, 100*dupRatio),

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -21,13 +22,15 @@ func TestFigGate(t *testing.T) {
 	// cached hot path to ~1-3ms; the margin must survive that).
 	s.GateServiceTime = 10 * time.Millisecond
 	s.GateMaxInFlight = 2
+	s.GateShards = 4
+	s.GateBatchSize = 4
 
 	res, err := FigGate(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 4 {
-		t.Fatalf("rows = %d, want 4 (cache/no-cache × 2 ratios)", len(res.Rows))
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 configurations × 2 ratios)", len(res.Rows))
 	}
 	byName := map[string]time.Duration{}
 	for _, r := range res.Rows {
@@ -38,13 +41,41 @@ func TestFigGate(t *testing.T) {
 	}
 	cachedHot := byName["Fixgate result cache, 90% duplicates"]
 	plainHot := byName["Fixgate no cache, 90% duplicates"]
-	if cachedHot == 0 || plainHot == 0 {
+	shardedHot := byName[fmt.Sprintf("Fixgate sharded cache (%d shards), 90%% duplicates", s.GateShards)]
+	batchHot := byName[fmt.Sprintf("Fixgate batched submit (batch=%d, %d shards), 90%% duplicates", s.GateBatchSize, s.GateShards)]
+	if cachedHot == 0 || plainHot == 0 || shardedHot == 0 || batchHot == 0 {
 		t.Fatalf("rows missing: %v", byName)
 	}
 	// Duplicate submissions answered at the edge must not queue behind
 	// in-flight cold work: mean latency beats the no-cache config.
 	if cachedHot >= plainHot {
 		t.Errorf("90%% duplicates: cached mean latency %v should beat no-cache %v", cachedHot, plainHot)
+	}
+	if shardedHot >= plainHot {
+		t.Errorf("90%% duplicates: sharded mean latency %v should beat no-cache %v", shardedHot, plainHot)
+	}
+	// Batching trades per-item latency (each item is charged its whole
+	// batch's round trip) for throughput: one admission slot admits the
+	// batch while EvalBatch fans its cold items out concurrently. On the
+	// all-cold sweep that fan-out must clearly outrun the slot-bound
+	// single-submit configuration.
+	thr := func(system string) float64 {
+		for _, r := range res.Rows {
+			if r.System == system {
+				var v float64
+				if _, err := fmt.Sscanf(r.Detail, "%f req/s", &v); err != nil {
+					t.Fatalf("%s: unparseable detail %q", system, r.Detail)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", system)
+		return 0
+	}
+	batchCold := thr(fmt.Sprintf("Fixgate batched submit (batch=%d, %d shards), 0%% duplicates", s.GateBatchSize, s.GateShards))
+	plainCold := thr("Fixgate no cache, 0% duplicates")
+	if batchCold < 2*plainCold {
+		t.Errorf("0%% duplicates: batched throughput %.0f req/s should be ≥ 2× no-cache %.0f req/s", batchCold, plainCold)
 	}
 	// The cached 90%-duplicates run must have actually collapsed or hit.
 	sawHits := false

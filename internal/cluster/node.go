@@ -219,6 +219,7 @@ type peer struct {
 	role     byte
 	conn     transport.Conn
 	sendMu   sync.Mutex
+	scratch  []byte       // encode scratch, guarded by sendMu
 	lastSeen atomic.Int64 // UnixNano of the last received message
 
 	// Heartbeat-send state: pings go out on a goroutine so one stalled
@@ -227,10 +228,22 @@ type peer struct {
 	pingStart atomic.Int64 // UnixNano the in-flight ping send began
 }
 
+// maxSendScratch caps the encode scratch a peer retains between sends;
+// a single huge Object push must not pin its buffer on the peer forever.
+const maxSendScratch = 1 << 20
+
+// send serializes one message onto the link. Every transport.Conn.Send
+// implementation finishes with the buffer before returning (mem copies,
+// tcp writes through), so the encode scratch is reusable across sends —
+// sendMu already serializes them.
 func (p *peer) send(m *proto.Message) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
-	return p.conn.Send(m.Encode())
+	buf := m.AppendEncode(p.scratch[:0])
+	if cap(buf) <= maxSendScratch {
+		p.scratch = buf
+	}
+	return p.conn.Send(buf)
 }
 
 type fetchWait struct {

@@ -71,4 +71,28 @@ func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
 	}
 	lint("gateway", srv.Metrics())
 	lint("worker", workerReg)
+
+	// The data-plane batch/shard families are pinned by name, not just by
+	// emission: if a collector refactor stops emitting one, the implicit
+	// loop above goes silent, but operators' dashboards still reference
+	// these — so both the registry and the doc table must keep them.
+	required := []string{
+		"fixgate_cache_shards",
+		"fixgate_batch_requests_total",
+		"fixgate_batch_items_total",
+		"fixgate_batch_max_items",
+		"fixgate_batch_size",
+	}
+	emitted := map[string]bool{}
+	for _, f := range srv.Metrics().Snapshot() {
+		emitted[f.Name] = true
+	}
+	for _, name := range required {
+		if !emitted[name] {
+			t.Errorf("gateway registry no longer emits required family %q", name)
+		}
+		if !bytes.Contains(arch, []byte(name)) {
+			t.Errorf("required family %q is not documented in ARCHITECTURE.md's metric table", name)
+		}
+	}
 }

@@ -3,7 +3,6 @@ package gateway
 import (
 	"context"
 	"errors"
-	"sync"
 	"sync/atomic"
 )
 
@@ -33,15 +32,18 @@ type AdmissionStats struct {
 // gateway sheds load (429) instead of accumulating goroutines.
 //
 // Only evaluations that actually reach the backend are admitted — cache
-// hits and collapsed waiters never pass through here.
+// hits and collapsed waiters never pass through here. The ledger is
+// all-atomics: the wait-queue bound is enforced with an
+// increment-then-check on the waiting counter rather than a mutex, so
+// admission never serializes the request hot path, and the /v1/stats
+// snapshot reads the same atomics the admitters write.
 type admission struct {
 	slots chan struct{}
 
-	mu          sync.Mutex
-	waiting     int
 	maxQueue    int
 	maxInFlight int
 
+	waiting      atomic.Int64
 	admitted     atomic.Uint64
 	queued       atomic.Uint64
 	rejected     atomic.Uint64
@@ -65,20 +67,17 @@ func (a *admission) Acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
-	a.mu.Lock()
-	if a.waiting >= a.maxQueue {
-		a.mu.Unlock()
+	// The bound is an optimistic increment: claim a queue position, and
+	// give it back if that overshot the limit. Transient over-counting by
+	// racing acquirers only ever sheds early (never queues deep), which
+	// is the safe direction for an overload valve.
+	if a.waiting.Add(1) > int64(a.maxQueue) {
+		a.waiting.Add(-1)
 		a.rejected.Add(1)
 		return ErrOverloaded
 	}
-	a.waiting++
-	a.mu.Unlock()
 	a.queued.Add(1)
-	defer func() {
-		a.mu.Lock()
-		a.waiting--
-		a.mu.Unlock()
-	}()
+	defer a.waiting.Add(-1)
 	select {
 	case a.slots <- struct{}{}:
 		a.admitted.Add(1)
@@ -111,12 +110,9 @@ func (a *admission) Release() { <-a.slots }
 
 // Stats snapshots the counters.
 func (a *admission) Stats() AdmissionStats {
-	a.mu.Lock()
-	waiting := a.waiting
-	a.mu.Unlock()
 	return AdmissionStats{
 		InFlight:     len(a.slots),
-		Waiting:      waiting,
+		Waiting:      int(a.waiting.Load()),
 		WaitingAsync: int(a.asyncWaiting.Load()),
 		MaxInFlight:  a.maxInFlight,
 		MaxQueue:     a.maxQueue,

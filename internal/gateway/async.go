@@ -77,7 +77,7 @@ func wantsAsync(r *http.Request) bool {
 
 // handleSubmitAsync enqueues a submission into the job queue and replies
 // 202 Accepted immediately with the job's snapshot and Location.
-func (s *Server) handleSubmitAsync(w http.ResponseWriter, r *http.Request, t *TenantStats, req JobRequest) {
+func (s *Server) handleSubmitAsync(w http.ResponseWriter, r *http.Request, t *tenantCounters, req JobRequest) {
 	h, err := ParseHandle(req.Handle)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -90,17 +90,15 @@ func (s *Server) handleSubmitAsync(w http.ResponseWriter, r *http.Request, t *Te
 	}
 	tenant := tenantName(r)
 	v, isNew, err := s.jobs.Submit(tenant, h)
-	s.mu.Lock()
-	t.Jobs++
+	t.jobs.Add(1)
 	if err != nil {
-		s.jobsFailed++
+		s.jobsFailed.Add(1)
 		if errors.Is(err, jobs.ErrQueueFull) {
-			t.Rejected++
+			t.rejected.Add(1)
 		}
 	} else if !isNew {
-		t.Hits++ // joined an existing job: the async collapse analogue
+		t.hits.Add(1) // joined an existing job: the async collapse analogue
 	}
-	s.mu.Unlock()
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):

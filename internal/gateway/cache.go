@@ -24,7 +24,8 @@ const (
 	OutcomeBypass CacheOutcome = "bypass"
 )
 
-// CacheStats is a snapshot of result-cache counters.
+// CacheStats is a snapshot of result-cache counters, rolled up across
+// every shard.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -34,6 +35,7 @@ type CacheStats struct {
 	Warmed    uint64 `json:"warmed"` // entries preloaded from a recovered memo journal
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
+	Shards    int    `json:"shards"`
 }
 
 // resultCache memoizes Handle → evaluated result with LRU eviction and
@@ -41,7 +43,23 @@ type CacheStats struct {
 // serving-edge mirror of the store's memoization tables: hitting it
 // requires no store lock, no engine future, and — for a cluster backend —
 // no network.
+//
+// The cache is hash-sharded: a submission's normalized key routes to one
+// of N shards (FNV-1a over the packed Handle), and each shard owns an
+// independent mutex, LRU list, and in-flight table. Two submissions of
+// different handles therefore never contend on a lock, which is what lets
+// a duplicate-heavy workload scale past the single-mutex ceiling. Routing
+// is deterministic — the same handle always lands on the same shard — so
+// single-flight collapsing and Get-after-Put semantics are identical to a
+// single cache; only the LRU horizon is partitioned (each shard evicts
+// within its own capacity slice).
 type resultCache struct {
+	shards   []*cacheShard
+	capacity int
+}
+
+// cacheShard is one independently locked slice of the cache.
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recent
@@ -69,13 +87,36 @@ type flight struct {
 	err    error
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
-		capacity: capacity,
-		ll:       list.New(),
-		entries:  make(map[core.Handle]*list.Element),
-		inflight: make(map[core.Handle]*flight),
+// newResultCache builds a cache of the given total capacity split across
+// shards hash-routed slices. shards is clamped to [1, capacity] so every
+// shard can hold at least one entry.
+func newResultCache(capacity, shards int) *resultCache {
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &resultCache{
+		shards:   make([]*cacheShard, shards),
+		capacity: capacity,
+	}
+	// Distribute capacity exactly: the first capacity%shards shards get
+	// one extra slot, so the shard capacities always sum to capacity.
+	base, rem := capacity/shards, capacity%shards
+	for i := range c.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		c.shards[i] = &cacheShard{
+			capacity: cap,
+			ll:       list.New(),
+			entries:  make(map[core.Handle]*list.Element),
+			inflight: make(map[core.Handle]*flight),
+		}
+	}
+	return c
 }
 
 // cacheKey normalizes a submitted Handle to its memoization identity:
@@ -87,6 +128,76 @@ func cacheKey(h core.Handle) core.Handle {
 		return h.AsObject()
 	}
 	return h
+}
+
+// shardFor routes a normalized key to its shard: FNV-1a over the packed
+// Handle. Handles are already content hashes, but hashing all 32 bytes
+// keeps the routing uniform even for literal Handles, whose leading bytes
+// are raw user data.
+func (c *resultCache) shardFor(k core.Handle) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range k {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// reservation is the outcome of claiming a key: a cached result, an
+// existing flight to join, or a newly registered flight this caller must
+// lead (run the evaluation and publish).
+type reservation struct {
+	result  core.Handle
+	outcome CacheOutcome
+	f       *flight
+	leader  bool
+}
+
+// reserve claims k on its shard. Exactly one of three shapes returns:
+// outcome=hit with the cached result; outcome=collapsed with a flight to
+// wait on; or outcome=miss with leader=true and a fresh flight the caller
+// must complete via publish (on every path, including panic), or later
+// submissions of k block forever.
+func (c *resultCache) reserve(k core.Handle) reservation {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		return reservation{result: el.Value.(*cacheEntry).result, outcome: OutcomeHit}
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.collapsed++
+		return reservation{outcome: OutcomeCollapsed, f: f}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.misses++
+	return reservation{outcome: OutcomeMiss, f: f, leader: true}
+}
+
+// publish completes a flight reserve registered: the result is inserted
+// (errors are never cached), the flight is torn down, and every waiter is
+// released.
+func (c *resultCache) publish(k core.Handle, f *flight) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if f.err == nil {
+		s.insertLocked(k, f.result)
+	} else {
+		s.errors++
+	}
+	s.mu.Unlock()
+	close(f.done)
 }
 
 // Do returns the cached result for h, or joins an in-flight evaluation,
@@ -101,52 +212,20 @@ func cacheKey(h core.Handle) core.Handle {
 // leader included — is therefore governed only by its own ctx.
 func (c *resultCache) Do(ctx context.Context, h core.Handle, eval func() (core.Handle, error)) (core.Handle, CacheOutcome, error) {
 	k := cacheKey(h)
-	c.mu.Lock()
-	if el, ok := c.entries[k]; ok {
-		c.ll.MoveToFront(el)
-		res := el.Value.(*cacheEntry).result
-		c.hits++
-		c.mu.Unlock()
-		return res, OutcomeHit, nil
-	}
-	if f, ok := c.inflight[k]; ok {
-		c.collapsed++
-		c.mu.Unlock()
+	rv := c.reserve(k)
+	switch {
+	case rv.outcome == OutcomeHit:
+		return rv.result, OutcomeHit, nil
+	case !rv.leader:
 		select {
-		case <-f.done:
-			return f.result, OutcomeCollapsed, f.err
+		case <-rv.f.done:
+			return rv.f.result, OutcomeCollapsed, rv.f.err
 		case <-ctx.Done():
 			return core.Handle{}, OutcomeCollapsed, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[k] = f
-	c.misses++
-	c.mu.Unlock()
-
-	go func() {
-		// Publish in a defer: if eval panics, the flight must still be
-		// torn down (as a failed flight) or every later submission of
-		// this handle would block on it forever.
-		completed := false
-		defer func() {
-			if !completed {
-				_ = recover()
-				f.err = fmt.Errorf("gateway: evaluation of %v panicked", k)
-			}
-			c.mu.Lock()
-			delete(c.inflight, k)
-			if f.err == nil {
-				c.insertLocked(k, f.result)
-			} else {
-				c.errors++
-			}
-			c.mu.Unlock()
-			close(f.done)
-		}()
-		f.result, f.err = eval()
-		completed = true
-	}()
+	f := rv.f
+	go c.runFlight(k, f, eval)
 	select {
 	case <-f.done:
 		return f.result, OutcomeMiss, f.err
@@ -155,42 +234,61 @@ func (c *resultCache) Do(ctx context.Context, h core.Handle, eval func() (core.H
 	}
 }
 
-func (c *resultCache) insertLocked(k core.Handle, result core.Handle) {
-	if el, ok := c.entries[k]; ok {
+// runFlight executes a reserved flight's evaluation and publishes it.
+// Publication happens in a defer: if eval panics, the flight must still
+// be torn down (as a failed flight) or every later submission of this
+// handle would block on it forever.
+func (c *resultCache) runFlight(k core.Handle, f *flight, eval func() (core.Handle, error)) {
+	completed := false
+	defer func() {
+		if !completed {
+			_ = recover()
+			f.err = fmt.Errorf("gateway: evaluation of %v panicked", k)
+		}
+		c.publish(k, f)
+	}()
+	f.result, f.err = eval()
+	completed = true
+}
+
+func (s *cacheShard) insertLocked(k core.Handle, result core.Handle) {
+	if el, ok := s.entries[k]; ok {
 		el.Value.(*cacheEntry).result = result
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, result: result})
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.evicted++
+	s.entries[k] = s.ll.PushFront(&cacheEntry{key: k, result: result})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+		s.evicted++
 	}
 }
 
 // warm inserts a known (key → result) pair without an evaluation, for
 // pre-populating the cache from a recovered memo journal.
 func (c *resultCache) warm(k, result core.Handle) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.insertLocked(k, result)
-	c.warmed++
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(k, result)
+	s.warmed++
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters, summed across shards.
 func (c *resultCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Collapsed: c.collapsed,
-		Evicted:   c.evicted,
-		Errors:    c.errors,
-		Warmed:    c.warmed,
-		Entries:   c.ll.Len(),
-		Capacity:  c.capacity,
+	out := CacheStats{Capacity: c.capacity, Shards: len(c.shards)}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Collapsed += s.collapsed
+		out.Evicted += s.evicted
+		out.Errors += s.errors
+		out.Warmed += s.warmed
+		out.Entries += s.ll.Len()
+		s.mu.Unlock()
 	}
+	return out
 }

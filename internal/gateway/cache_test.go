@@ -18,7 +18,7 @@ func key(i uint64) core.Handle {
 }
 
 func TestCacheHitMissEvict(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 1)
 	evals := 0
 	eval := func(v uint64) func() (core.Handle, error) {
 		return func() (core.Handle, error) {
@@ -52,7 +52,7 @@ func TestCacheHitMissEvict(t *testing.T) {
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, 1)
 	ctx := context.Background()
 	boom := errors.New("boom")
 	calls := 0
@@ -79,7 +79,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 }
 
 func TestCacheSingleFlight(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, 1)
 	ctx := context.Background()
 	var evals atomic.Int64
 	release := make(chan struct{})
@@ -102,13 +102,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		}(i)
 	}
 	// Let the herd pile onto the flight before releasing the leader.
-	for {
-		c.mu.Lock()
-		n := c.collapsed
-		c.mu.Unlock()
-		if n == N-1 {
-			break
-		}
+	for c.Stats().Collapsed != N-1 {
 		time.Sleep(time.Millisecond)
 	}
 	close(release)

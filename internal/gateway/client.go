@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -134,6 +135,52 @@ func (c *Client) submit(ctx context.Context, h core.Handle, includeData bool) (J
 		Elapsed: time.Duration(reply.ElapsedNS),
 		Data:    reply.Data,
 	}, nil
+}
+
+// BatchResult is one item's outcome of a SubmitBatch call, in
+// submission order. Err is set when that item failed; Result and
+// Outcome are meaningful otherwise.
+type BatchResult struct {
+	Result  core.Handle
+	Outcome CacheOutcome
+	Err     error
+}
+
+// SubmitBatch evaluates N jobs in one round trip (POST /v1/jobs:batch).
+// Results arrive per item, in submission order: one malformed or failed
+// item does not fail its neighbors. A whole-batch refusal — empty batch
+// (400), too many items (413), admission shed (429) — returns a
+// *StatusError instead.
+func (c *Client) SubmitBatch(ctx context.Context, hs []core.Handle) ([]BatchResult, error) {
+	req := BatchRequest{Items: make([]BatchItem, len(hs))}
+	for i, h := range hs {
+		req.Items[i] = BatchItem{Handle: FormatHandle(h)}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var reply BatchReply
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs:batch", "application/json", body, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Items) != len(hs) {
+		return nil, fmt.Errorf("gateway: batch reply has %d items, want %d", len(reply.Items), len(hs))
+	}
+	out := make([]BatchResult, len(reply.Items))
+	for i, it := range reply.Items {
+		if it.Error != "" {
+			out[i].Err = errors.New(it.Error)
+			continue
+		}
+		res, err := ParseHandle(it.Result)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i] = BatchResult{Result: res, Outcome: CacheOutcome(it.Outcome)}
+	}
+	return out, nil
 }
 
 // BlobBytes downloads an object's packed bytes.

@@ -27,6 +27,8 @@ func (s *Server) initMetrics() {
 		"End-to-end latency of synchronous job submissions")
 	s.persistHist = reg.HistogramVec("fixgate_persist_seconds",
 		"Durable write-through latency, by record kind", "op")
+	s.batchSize = reg.SizeHistogram("fixgate_batch_size",
+		"Items per accepted POST /v1/jobs:batch submission")
 	s.tracer = obsv.NewTracer(s.opts.TraceEntries, s.stageHist)
 	reg.GaugeFunc("fixgate_traces_retained",
 		"Finished traces currently held in the trace ring",
@@ -86,6 +88,7 @@ func (s *Server) collectStats(emit func(obsv.Sample)) {
 	counter("cache_warmed_total", "Entries preloaded from a recovered memo journal", float64(st.Cache.Warmed))
 	gauge("cache_entries", "Result-cache entries resident", float64(st.Cache.Entries))
 	gauge("cache_capacity", "Result-cache capacity", float64(st.Cache.Capacity))
+	gauge("cache_shards", "Independently locked result-cache shards", float64(st.Cache.Shards))
 
 	gauge("admission_in_flight", "Backend evaluations running now", float64(st.Admission.InFlight))
 	gauge("admission_waiting", "Submissions queued for an evaluation slot", float64(st.Admission.Waiting))
@@ -99,6 +102,10 @@ func (s *Server) collectStats(emit func(obsv.Sample)) {
 	counter("jobs_ok_total", "Synchronous submissions answered successfully", float64(st.JobsOK))
 	counter("jobs_failed_total", "Synchronous submissions answered with an error", float64(st.JobsFail))
 	counter("persist_errors_total", "Failed durable write-throughs on the backing store", float64(st.PersistErrors))
+
+	counter("batch_requests_total", "Batch submissions that reached the evaluator", float64(st.Batch.Requests))
+	counter("batch_items_total", "Thunks submitted inside batch requests", float64(st.Batch.Items))
+	gauge("batch_max_items", "Configured per-batch item bound", float64(st.Batch.MaxItems))
 
 	if st.Cluster != nil {
 		cs := st.Cluster

@@ -223,6 +223,7 @@ func TestStatsMetricsParity(t *testing.T) {
 	check("fixgate_", reflect.ValueOf(st))
 	check("fixgate_cache_", reflect.ValueOf(st.Cache))
 	check("fixgate_admission_", reflect.ValueOf(st.Admission))
+	check("fixgate_batch_", reflect.ValueOf(st.Batch))
 	check("fixgate_async_", reflect.ValueOf(*st.Jobs))
 	check("fixgate_cluster_", reflect.ValueOf(*st.Cluster))
 	check("fixgate_durable_", reflect.ValueOf(*st.Durable))
@@ -425,6 +426,101 @@ func TestTraceEndToEndOverCluster(t *testing.T) {
 		t.Error("digest has no stage quantiles after a finished trace")
 	}
 	_ = srv
+}
+
+// TestStatsScrapeUnderShardLoad is the regression for the stats race
+// the sharding pass fixed: /v1/stats used to read per-tenant maps and
+// admission counters without a lock while handlers mutated them. Now
+// every source is atomic or shard-locked; this hammers mixed-tenant
+// single and batch submissions from many goroutines while scraping
+// Stats(), /v1/stats, and /metrics concurrently (run under -race), then
+// checks the final snapshot adds up.
+func TestStatsScrapeUnderShardLoad(t *testing.T) {
+	srv, c := newTestGateway(t, Options{CacheEntries: 128, CacheShards: 8})
+	ctx := context.Background()
+	const clients, perClient, batchN = 6, 20, 4
+
+	tenants := make([]*Client, clients)
+	for i := range tenants {
+		tenants[i] = NewClient(c.base, WithTenant(fmt.Sprintf("t%d", i%3)), WithHTTPClient(c.hc))
+	}
+
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := srv.Stats() // direct in-process snapshot
+				if st.JobsOK+st.JobsFail > uint64(clients*perClient*(1+batchN)) {
+					t.Errorf("snapshot overcounts: %+v", st)
+					return
+				}
+				for _, path := range []string{"/v1/stats", "/metrics"} {
+					resp, err := c.hc.Get(c.base + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := tenants[ci]
+			for i := 0; i < perClient; i++ {
+				// Overlapping keyspace across clients: hits, collapses,
+				// and misses all exercised concurrently.
+				if _, err := cl.Submit(ctx, key(uint64(ci*perClient+i)%17)); err != nil {
+					t.Errorf("client %d submit: %v", ci, err)
+					return
+				}
+				hs := make([]core.Handle, batchN)
+				for j := range hs {
+					hs[j] = key(uint64(i*batchN+j) % 29)
+				}
+				if _, err := cl.SubmitBatch(ctx, hs); err != nil {
+					t.Errorf("client %d batch: %v", ci, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(done)
+	scrapers.Wait()
+
+	st := srv.Stats()
+	total := uint64(clients * perClient * (1 + batchN))
+	if st.JobsOK+st.JobsFail != total {
+		t.Errorf("jobs ok %d + failed %d != %d submissions", st.JobsOK, st.JobsFail, total)
+	}
+	var tenantJobs uint64
+	for _, ts := range st.Tenants {
+		tenantJobs += ts.Jobs
+	}
+	if tenantJobs != total {
+		t.Errorf("tenant job totals %d != %d submissions", tenantJobs, total)
+	}
+	if st.Batch.Requests != uint64(clients*perClient) || st.Batch.Items != uint64(clients*perClient*batchN) {
+		t.Errorf("batch stats = %+v, want %d requests / %d items", st.Batch, clients*perClient, clients*perClient*batchN)
+	}
+	if st.Cache.Shards != 8 {
+		t.Errorf("cache shards = %d, want 8", st.Cache.Shards)
+	}
 }
 
 // TestScrapeWhileServing hammers /metrics, /v1/stats, and the trace

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"sync"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"fixgo/internal/cluster"
@@ -24,8 +24,15 @@ type Options struct {
 	// CacheEntries bounds the result LRU. 0 disables the cache and
 	// single-flight collapsing (every submission reaches the backend).
 	CacheEntries int
+	// CacheShards splits the result cache into independently locked
+	// hash-routed shards (default 16, clamped to CacheEntries). 1
+	// restores the single-mutex cache.
+	CacheShards int
 	// MaxInFlight bounds concurrent backend evaluations (default 64).
 	MaxInFlight int
+	// MaxBatchItems bounds one POST /v1/jobs:batch submission (default
+	// 256); larger batches are refused with 413.
+	MaxBatchItems int
 	// MaxQueue bounds submissions waiting for an evaluation slot before
 	// the gateway sheds load with 429 (default 4×MaxInFlight).
 	MaxQueue int
@@ -69,8 +76,14 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 64
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 256
 	}
 	if o.MaxQueue <= 0 {
 		o.MaxQueue = 4 * o.MaxInFlight
@@ -103,20 +116,27 @@ type Server struct {
 	stageHist   *obsv.HistogramVec // fixgate_stage_seconds{stage}
 	reqHist     *obsv.Histogram    // fixgate_request_seconds
 	persistHist *obsv.HistogramVec // fixgate_persist_seconds{op}
+	batchSize   *obsv.Histogram    // fixgate_batch_size
 
-	mu      sync.Mutex
-	tenants map[string]*TenantStats
-
-	jobsOK     uint64
-	jobsFailed uint64
+	// Request accounting is all-atomics: handlers on every shard bump
+	// these without a lock, and the /v1/stats snapshot loads them while
+	// traffic is in flight.
+	tenants    *tenantLedger
+	jobsOK     atomic.Uint64
+	jobsFailed atomic.Uint64
+	batches    atomic.Uint64
+	batchItems atomic.Uint64
 }
 
-// TenantStats is the per-tenant accounting slice of the stats report.
-type TenantStats struct {
-	Jobs     uint64 `json:"jobs"`
-	Hits     uint64 `json:"hits"` // cache hits + collapsed joins
-	Uploads  uint64 `json:"uploads"`
-	Rejected uint64 `json:"rejected"`
+// BatchStats is the /v1/jobs:batch accounting slice of the stats report.
+type BatchStats struct {
+	// Requests counts batch submissions that reached the evaluator (past
+	// decode and size validation).
+	Requests uint64 `json:"requests"`
+	// Items counts thunks submitted inside those batches.
+	Items uint64 `json:"items"`
+	// MaxItems is the configured per-batch bound (413 beyond it).
+	MaxItems int `json:"max_items"`
 }
 
 // Stats is the full observability snapshot served at /v1/stats.
@@ -128,6 +148,8 @@ type Stats struct {
 	// PersistErrors counts failed durable write-throughs on the backing
 	// store (0 when persistence is not configured).
 	PersistErrors uint64 `json:"persist_errors"`
+	// Batch is the /v1/jobs:batch accounting slice.
+	Batch BatchStats `json:"batch"`
 	// Jobs is the async queue's snapshot (nil when async serving is
 	// disabled): depth, oldest-pending age, per-state counters.
 	Jobs *jobs.Stats `json:"jobs,omitempty"`
@@ -157,10 +179,10 @@ func NewServer(opts Options) (*Server, error) {
 	s := &Server{
 		opts:    opts,
 		adm:     newAdmission(opts.MaxInFlight, opts.MaxQueue),
-		tenants: make(map[string]*TenantStats),
+		tenants: newTenantLedger(),
 	}
 	if opts.CacheEntries > 0 {
-		s.cache = newResultCache(opts.CacheEntries)
+		s.cache = newResultCache(opts.CacheEntries, opts.CacheShards)
 	}
 	s.initMetrics()
 	if opts.AsyncWorkers > 0 {
@@ -202,6 +224,7 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/blobs/{handle}", s.handleGetBlob)
 	mux.HandleFunc("POST /v1/trees", s.handlePutTree)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -245,15 +268,20 @@ func (s *Server) Warm(job, result core.Handle) bool {
 	return true
 }
 
-// Stats snapshots all counters (also served at /v1/stats).
+// Stats snapshots all counters (also served at /v1/stats). Every source
+// is either atomic or snapshotted under its own shard lock, so scraping
+// while handlers mutate is race-free by construction.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := Stats{
 		Admission: s.adm.Stats(),
-		JobsOK:    s.jobsOK,
-		JobsFail:  s.jobsFailed,
-		Tenants:   make(map[string]*TenantStats, len(s.tenants)),
+		JobsOK:    s.jobsOK.Load(),
+		JobsFail:  s.jobsFailed.Load(),
+		Batch: BatchStats{
+			Requests: s.batches.Load(),
+			Items:    s.batchItems.Load(),
+			MaxItems: s.opts.MaxBatchItems,
+		},
+		Tenants: s.tenants.snapshot(),
 	}
 	if s.cache != nil {
 		out.Cache = s.cache.Stats()
@@ -273,23 +301,11 @@ func (s *Server) Stats() Stats {
 		ds := s.opts.DurableStats()
 		out.Durable = &ds
 	}
-	for name, t := range s.tenants {
-		cp := *t
-		out.Tenants[name] = &cp
-	}
 	return out
 }
 
-func (s *Server) tenant(r *http.Request) *TenantStats {
-	name := tenantName(r)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := s.tenants[name]
-	if t == nil {
-		t = &TenantStats{}
-		s.tenants[name] = t
-	}
-	return t
+func (s *Server) tenant(r *http.Request) *tenantCounters {
+	return s.tenants.get(tenantName(r))
 }
 
 // TenantHeader names the header carrying the submitting tenant's
@@ -336,8 +352,12 @@ type (
 
 func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(r)
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBlobBytes))
-	if err != nil {
+	// Slurp into a pooled buffer so repeated uploads reuse growth
+	// capacity; the backend gets an exact-size copy because it retains
+	// the bytes past this request.
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.opts.MaxBlobBytes)); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.fail(w, http.StatusRequestEntityTooLarge,
@@ -347,10 +367,10 @@ func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
+	data := make([]byte, buf.Len())
+	copy(data, buf.Bytes())
 	h := s.opts.Backend.PutBlob(data)
-	s.mu.Lock()
-	t.Uploads++
-	s.mu.Unlock()
+	t.uploads.Add(1)
 	s.reply(w, http.StatusOK, HandleReply{Handle: FormatHandle(h)})
 }
 
@@ -389,16 +409,21 @@ func (s *Server) handlePutTree(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.mu.Lock()
-	t.Uploads++
-	s.mu.Unlock()
+	t.uploads.Add(1)
 	s.reply(w, http.StatusOK, HandleReply{Handle: FormatHandle(h)})
 }
 
 // decodeJSON decodes a bounded JSON request body, writing the error reply
-// (413 for an oversized body, 400 otherwise) itself.
+// (413 for an oversized body, 400 otherwise) itself. The body is slurped
+// into a pooled scratch buffer before the one-shot Unmarshal, so the
+// decode path's transient allocations amortize across requests.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxJSONBytes)).Decode(v)
+	buf := getBuf()
+	defer putBuf(buf)
+	_, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.opts.MaxJSONBytes))
+	if err == nil {
+		err = json.Unmarshal(buf.Bytes(), v)
+	}
 	if err == nil {
 		return nil
 	}
@@ -451,20 +476,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tc.SetOutcome(string(outcome))
 	}
 
-	s.mu.Lock()
-	t.Jobs++
+	t.jobs.Add(1)
 	if err == nil && (outcome == OutcomeHit || outcome == OutcomeCollapsed) {
-		t.Hits++
+		t.hits.Add(1)
 	}
 	if err != nil {
-		s.jobsFailed++
+		s.jobsFailed.Add(1)
 		if errors.Is(err, ErrOverloaded) {
-			t.Rejected++
+			t.rejected.Add(1)
 		}
 	} else {
-		s.jobsOK++
+		s.jobsOK.Add(1)
 	}
-	s.mu.Unlock()
 
 	if err != nil {
 		switch {
@@ -565,10 +588,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, s.Stats())
 }
 
+// reply encodes v into a pooled buffer and writes it out in one shot.
+// Encoding off-wire (rather than streaming json.NewEncoder(w)) reuses
+// scratch across requests, yields a Content-Length, and never leaves a
+// half-written body behind an encode error. The ResponseWriter copies
+// the bytes during Write, so the buffer is safe to recycle on return.
 func (s *Server) reply(w http.ResponseWriter, code int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {

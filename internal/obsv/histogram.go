@@ -22,23 +22,42 @@ var latencyBuckets = func() []float64 {
 	return out
 }()
 
-// Histogram is a fixed-bucket latency distribution: per-bucket counts,
-// a running sum, and a total count, all maintained with atomics so
-// Observe never takes a lock on the hot path.
+// sizeBuckets are the fixed power-of-two upper bounds for count-valued
+// histograms (batch sizes, fan-outs): 1 doubling to 4096. Like the
+// latency buckets, they are fixed so scrapes stay byte-comparable.
+var sizeBuckets = func() []float64 {
+	out := make([]float64, 13)
+	b := 1.0
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket distribution: per-bucket counts, a running
+// sum, and a total count, all maintained with atomics so Observe never
+// takes a lock on the hot path. The default bounds are the exponential
+// latency buckets; size-valued families use the power-of-two size
+// buckets instead (Registry.SizeHistogram).
 type Histogram struct {
+	bounds []float64       // upper bounds, +Inf implied last
 	counts []atomic.Uint64 // one per bucket, +Inf last
 	sum    atomic.Uint64   // float64 bits, CAS-accumulated
 	count  atomic.Uint64
 }
 
-func newHistogram() *Histogram {
-	return &Histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+func newHistogram() *Histogram { return newHistogramWith(latencyBuckets) }
+
+func newHistogramWith(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one measurement in seconds.
+// Observe records one measurement (seconds for latency histograms, a
+// count for size histograms).
 func (h *Histogram) Observe(seconds float64) {
 	i := 0
-	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+	for i < len(h.bounds) && seconds > h.bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -78,14 +97,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if float64(cum+n) >= target {
-			if i >= len(latencyBuckets) {
-				return latencyBuckets[len(latencyBuckets)-1]
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = latencyBuckets[i-1]
+				lo = h.bounds[i-1]
 			}
-			hi := latencyBuckets[i]
+			hi := h.bounds[i]
 			frac := (target - float64(cum)) / float64(n)
 			if frac < 0 {
 				frac = 0
@@ -96,7 +115,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += n
 	}
-	return latencyBuckets[len(latencyBuckets)-1]
+	return h.bounds[len(h.bounds)-1]
 }
 
 // flatten expands the histogram into the _bucket/_sum/_count exposition
@@ -107,8 +126,8 @@ func (h *Histogram) flatten(name string, labels []Label) []FlatSample {
 	for i := range h.counts {
 		cum += h.counts[i].Load()
 		le := "+Inf"
-		if i < len(latencyBuckets) {
-			le = formatValue(latencyBuckets[i])
+		if i < len(h.bounds) {
+			le = formatValue(h.bounds[i])
 		}
 		out = append(out, FlatSample{
 			Name:   name + "_bucket",

@@ -176,6 +176,19 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
+// SizeHistogram registers (and returns) a count-valued family with
+// power-of-two buckets (1 doubling to 4096) — batch sizes, fan-outs, and
+// other small-integer distributions that the latency buckets would
+// squash into their lowest bound.
+func (r *Registry) SizeHistogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, TypeHistogram)
+	h := newHistogramWith(sizeBuckets)
+	r.hists[name] = h
+	return h
+}
+
 // CounterVec registers a labeled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	r.mu.Lock()

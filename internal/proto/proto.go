@@ -74,9 +74,15 @@ const (
 	RoleClient
 )
 
-// Encode packs the message.
+// Encode packs the message into a fresh buffer.
 func (m *Message) Encode() []byte {
-	buf := make([]byte, 0, 64+len(m.Data))
+	return m.AppendEncode(make([]byte, 0, 64+len(m.Data)))
+}
+
+// AppendEncode packs the message onto buf and returns the extended
+// slice, letting a hot sender reuse one scratch buffer across messages
+// instead of allocating per send.
+func (m *Message) AppendEncode(buf []byte) []byte {
 	buf = append(buf, m.Type)
 	buf = appendString(buf, m.From)
 	switch m.Type {

@@ -27,7 +27,10 @@ const MaxFrame = 256 << 20
 // Conn is a bidirectional, ordered, reliable message link.
 type Conn interface {
 	// Send transmits one message. It does not block for network time on
-	// simulated links (the delay is applied at the receiver).
+	// simulated links (the delay is applied at the receiver). Send must
+	// not retain msg past return — implementations copy (mem) or write
+	// through (tcp) before returning — so callers may reuse the buffer
+	// for the next encode.
 	Send(msg []byte) error
 	// Recv delivers the next message, blocking until one arrives or the
 	// link closes (io.EOF).
