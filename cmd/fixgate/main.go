@@ -57,6 +57,7 @@ import (
 	"fixgo/internal/gateway"
 	"fixgo/internal/obsv"
 	"fixgo/internal/runtime"
+	"fixgo/internal/storage"
 	"fixgo/internal/store"
 	"fixgo/internal/transport"
 	"fixgo/internal/wiki"
@@ -84,6 +85,10 @@ func main() {
 	replicas := flag.Int("replicas", 1, "cluster replication factor R: writes are pushed to R-1 ring successors (1 disables replication)")
 	traceEntries := flag.Int("trace-entries", 512, "finished request traces retained for GET /v1/trace")
 	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /metrics, and /v1/trace")
+	storageMode := flag.String("storage", "local", "object storage mode: local | remote | hybrid (cluster mode only, see OPERATIONS.md)")
+	remoteDir := flag.String("remote-dir", "", "remote tier directory (required for -storage remote|hybrid)")
+	lfcBudgetMiB := flag.Int64("lfc-budget-mib", 512, "local file cache byte budget in MiB (0 disables caching)")
+	demoteAfter := flag.Duration("demote-after", 10*time.Minute, "idle window before a cold object is demoted to the tier (0 disables demotion)")
 	flag.Parse()
 
 	reg := runtime.NewRegistry()
@@ -175,6 +180,32 @@ func main() {
 			// Hello; re-advertise so recovered objects are placeable.
 			node.AdvertiseAll()
 		}
+	}
+
+	// The edge's storage tier rides on its cluster node (the in-process
+	// engine keeps everything hot); it attaches after the durable restore
+	// because hybrid mode's local side is the pack store itself.
+	if *storageMode != "" && *storageMode != storage.ModeLocal {
+		if !clustered {
+			fatal(fmt.Errorf("-storage %s requires cluster mode (-peers or -cluster-listen)", *storageMode))
+		}
+		cacheDir := filepath.Join(os.TempDir(), "fixgate-lfc")
+		if *dataDir != "" {
+			cacheDir = filepath.Join(*dataDir, "lfc")
+		}
+		tier, err := storage.Build(storage.Config{
+			Mode:        *storageMode,
+			RemoteDir:   *remoteDir,
+			CacheDir:    cacheDir,
+			CacheBudget: *lfcBudgetMiB << 20,
+		}, dur)
+		if err != nil {
+			fatal(err)
+		}
+		defer tier.Close()
+		node.SetTier(tier, *demoteAfter)
+		fmt.Printf("fixgate: %s storage tier at %s (lfc %s, budget %d MiB, demote after %s)\n",
+			*storageMode, *remoteDir, cacheDir, *lfcBudgetMiB, *demoteAfter)
 	}
 
 	gwOpts := gateway.Options{

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -35,9 +36,22 @@ import (
 	"fixgo/internal/flatware"
 	"fixgo/internal/obsv"
 	"fixgo/internal/runtime"
+	"fixgo/internal/storage"
 	"fixgo/internal/transport"
 	"fixgo/internal/wiki"
 )
+
+// sanitize maps a node ID onto a filesystem-safe fragment for the
+// default cache directory (IDs default to listen addresses like ":7600").
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, id)
+}
 
 func main() {
 	listen := flag.String("listen", ":7600", "TCP listen address")
@@ -54,6 +68,10 @@ func main() {
 	hbTimeout := flag.Duration("hb-timeout", 0, "silence window before a peer is evicted (default 4×hb-interval)")
 	replicas := flag.Int("replicas", 1, "cluster replication factor R: writes are pushed to R-1 ring successors (1 disables replication)")
 	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof, /metrics, and /v1/trace")
+	storageMode := flag.String("storage", "local", "object storage mode: local | remote | hybrid (see OPERATIONS.md)")
+	remoteDir := flag.String("remote-dir", "", "remote tier directory (required for -storage remote|hybrid)")
+	lfcBudgetMiB := flag.Int64("lfc-budget-mib", 512, "local file cache byte budget in MiB (0 disables caching)")
+	demoteAfter := flag.Duration("demote-after", 10*time.Minute, "idle window before a cold object is demoted to the tier (0 disables demotion)")
 	flag.Parse()
 
 	if *id == "" {
@@ -99,6 +117,30 @@ func main() {
 		dur = d
 		fmt.Printf("fixpoint: recovered %d blobs, %d trees, %d thunk + %d encode memos from %s (fsync=%s)\n",
 			rs.Blobs, rs.Trees, rs.Thunks, rs.Encodes, *dataDir, policy)
+	}
+
+	// The storage tier attaches after the durable restore: hybrid mode's
+	// local side is the pack store itself, so demoted objects stay
+	// durable on this disk while their hot copy is evicted.
+	if *storageMode != "" && *storageMode != storage.ModeLocal {
+		cacheDir := filepath.Join(os.TempDir(), "fixpoint-lfc-"+sanitize(*id))
+		if *dataDir != "" {
+			cacheDir = filepath.Join(*dataDir, "lfc")
+		}
+		tier, err := storage.Build(storage.Config{
+			Mode:        *storageMode,
+			RemoteDir:   *remoteDir,
+			CacheDir:    cacheDir,
+			CacheBudget: *lfcBudgetMiB << 20,
+		}, dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fixpoint:", err)
+			os.Exit(1)
+		}
+		defer tier.Close()
+		node.SetTier(tier, *demoteAfter)
+		fmt.Printf("fixpoint: %s storage tier at %s (lfc %s, budget %d MiB, demote after %s)\n",
+			*storageMode, *remoteDir, cacheDir, *lfcBudgetMiB, *demoteAfter)
 	}
 
 	// The metrics registry and trace ring exist regardless of

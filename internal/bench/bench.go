@@ -98,6 +98,13 @@ type Scale struct {
 	ClusterLinkLatency time.Duration // edge ↔ worker propagation delay
 	ClusterHbInterval  time.Duration // heartbeat interval (timeout is 4×)
 
+	// Tiered-storage experiment (internal/storage LFC + remote tier).
+	StorObjects       int           // objects in the remote universe
+	StorBlobBytes     int           // payload bytes per object (must exceed the literal cutoff)
+	StorReads         int           // skewed reads per configuration
+	StorLFCFracs      []float64     // LFC budgets to sweep, as fractions of the universe
+	StorRemoteLatency time.Duration // injected per remote-tier read
+
 	// Replicated-placement experiment (internal/cluster replication).
 	ReplWorkers     int           // worker nodes (one is killed per configuration)
 	ReplObjects     int           // objects written before the kill
@@ -176,6 +183,12 @@ func DefaultScale() Scale {
 		ClusterLinkLatency: 300 * time.Microsecond,
 		ClusterHbInterval:  25 * time.Millisecond,
 
+		StorObjects:       128,
+		StorBlobBytes:     4 << 10,
+		StorReads:         768,
+		StorLFCFracs:      []float64{0.25, 0.5, 1},
+		StorRemoteLatency: 2 * time.Millisecond,
+
 		ReplWorkers:     4,
 		ReplObjects:     96,
 		ReplBlobBytes:   4 << 10,
@@ -213,6 +226,11 @@ func PaperScale() Scale {
 	s.ReplObjects = 1024
 	s.ReplBlobBytes = 64 << 10
 	s.ReplFactors = []int{1, 2, 3}
+	s.StorObjects = 512
+	s.StorBlobBytes = 64 << 10
+	s.StorReads = 4096
+	s.StorLFCFracs = []float64{0.1, 0.25, 0.5, 1}
+	s.StorRemoteLatency = 10 * time.Millisecond
 	return s
 }
 
@@ -240,6 +258,7 @@ var Experiments = []struct {
 	{"jobs", FigJobs},
 	{"cluster", FigCluster},
 	{"replication", FigRepl},
+	{"storage", FigStorage},
 	{"trace", FigTrace},
 }
 

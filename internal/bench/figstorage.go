@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/storage"
+)
+
+// FigStorage is the tiered-storage experiment (this reproduction's own,
+// not a paper figure): what does the local file cache buy against a
+// latency-bearing remote tier, and what does keeping it warm across a
+// restart buy again?
+//
+// A universe of s.StorObjects Blobs lives on a remote tier (the
+// internal/storage directory fake, with s.StorRemoteLatency injected per
+// Get). A skewed read stream — 80% of reads over the hottest 20% of
+// objects — runs through a local file cache at several byte budgets,
+// measuring wall time and the cache hit rate each budget earns. The
+// restart phase then replays the stream twice at a fixed sub-universe
+// budget: once against the cache directory the previous run left behind
+// (a warm restart — the LFC re-adopts its files on open) and once
+// against an empty directory (a cold restart). The warm row's hit rate
+// should beat the cold row's: that delta is what surviving files buy.
+func FigStorage(s Scale) (Result, error) {
+	res := Result{ID: "storage", Title: "tiered storage: LFC hit rate and latency vs budget, warm vs cold restart"}
+	n := s.StorObjects
+	if n <= 0 {
+		n = 128
+	}
+	blobBytes := s.StorBlobBytes
+	if blobBytes <= core.MaxLiteral+1 {
+		blobBytes = 4 << 10 // literals bypass storage entirely; stay above the cutoff
+	}
+	reads := s.StorReads
+	if reads <= 0 {
+		reads = 6 * n
+	}
+	fracs := s.StorLFCFracs
+	if len(fracs) == 0 {
+		fracs = []float64{0.25, 0.5, 1}
+	}
+	latency := s.StorRemoteLatency
+	if latency <= 0 {
+		latency = 2 * time.Millisecond
+	}
+	ctx := context.Background()
+
+	payload := func(i int) []byte {
+		b := make([]byte, blobBytes)
+		for j := 0; j < 8; j++ {
+			b[j] = byte(uint64(i) >> (8 * j))
+		}
+		b[8] = 0x5a
+		return b
+	}
+
+	// Populate the remote tier once; every configuration below reads the
+	// same universe through its own cache.
+	remoteDir, err := os.MkdirTemp("", "fixbench-storage-remote-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(remoteDir)
+	remote, err := storage.NewDir(remoteDir, storage.DirOptions{Latency: latency})
+	if err != nil {
+		return res, err
+	}
+	handles := make([]core.Handle, n)
+	for i := range handles {
+		data := payload(i)
+		handles[i] = core.BlobHandle(data)
+		if err := remote.Put(ctx, handles[i], data); err != nil {
+			return res, err
+		}
+	}
+	universe := int64(n) * int64(blobBytes)
+
+	// The skewed access pattern, fixed across configurations: 80% of
+	// reads land on the hottest 20% of the universe (deterministic LCG so
+	// every row replays the identical stream).
+	hot := n / 5
+	if hot < 1 {
+		hot = 1
+	}
+	pattern := make([]int, reads)
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := range pattern {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		r := seed >> 33
+		if r%10 < 8 {
+			pattern[i] = int(r/10) % hot
+		} else {
+			pattern[i] = int(r/10) % n
+		}
+	}
+
+	// runReads drives the pattern through one cache and reports wall time
+	// plus the hit rate this run earned (counter deltas, so re-opened
+	// caches report their own run only).
+	runReads := func(lfc *storage.LFC) (time.Duration, float64, error) {
+		before := lfc.StorageStats()
+		start := time.Now()
+		for _, idx := range pattern {
+			data, err := lfc.Get(ctx, handles[idx])
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(data) != blobBytes {
+				return 0, 0, fmt.Errorf("storage: object %d read %d bytes, want %d", idx, len(data), blobBytes)
+			}
+		}
+		elapsed := time.Since(start)
+		after := lfc.StorageStats()
+		hits := after.LFCHits - before.LFCHits
+		misses := after.LFCMisses - before.LFCMisses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		return elapsed, rate, nil
+	}
+
+	newLFC := func(budget int64) (*storage.LFC, string, error) {
+		dir, err := os.MkdirTemp("", "fixbench-storage-lfc-*")
+		if err != nil {
+			return nil, "", err
+		}
+		lfc, err := storage.NewLFC(dir, budget, remote)
+		return lfc, dir, err
+	}
+
+	// Baseline: every read pays the remote round trip.
+	passthrough, _, err := newLFC(0)
+	if err != nil {
+		return res, err
+	}
+	elapsed, _, err := runReads(passthrough)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		System:   "remote only (no cache)",
+		Measured: elapsed,
+		Detail:   fmt.Sprintf("%d reads, %s/read, hit rate 0.0%%", reads, perOp(elapsed, reads)),
+	})
+
+	// Budget sweep.
+	for _, frac := range fracs {
+		budget := int64(float64(universe) * frac)
+		lfc, dir, err := newLFC(budget)
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		elapsed, rate, err := runReads(lfc)
+		if err != nil {
+			return res, err
+		}
+		st := lfc.StorageStats()
+		res.Rows = append(res.Rows, Row{
+			System:   fmt.Sprintf("lfc budget %d%% of universe", int(frac*100)),
+			Measured: elapsed,
+			Detail: fmt.Sprintf("hit rate %.1f%%, %s/read, %d evictions, %s resident",
+				100*rate, perOp(elapsed, reads), st.LFCEvictions, fmtBytes(int64(st.LFCBytes))),
+		})
+	}
+
+	// Restart phase at a fixed sub-universe budget: warm up a cache, then
+	// replay the stream through a re-opened cache on the same directory
+	// (warm) and through an empty one (cold).
+	budget := universe / 2
+	warmed, warmDir, err := newLFC(budget)
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(warmDir)
+	if _, _, err := runReads(warmed); err != nil {
+		return res, err
+	}
+	if err := warmed.Close(); err != nil {
+		return res, err
+	}
+
+	reopened, err := storage.NewLFC(warmDir, budget, remote)
+	if err != nil {
+		return res, err
+	}
+	warmElapsed, warmRate, err := runReads(reopened)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		System:   "warm LFC restart (files re-adopted)",
+		Measured: warmElapsed,
+		Detail:   fmt.Sprintf("hit rate %.1f%%, %s/read", 100*warmRate, perOp(warmElapsed, reads)),
+	})
+
+	cold, coldDir, err := newLFC(budget)
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(coldDir)
+	coldElapsed, coldRate, err := runReads(cold)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		System:   "cold LFC restart (empty cache)",
+		Measured: coldElapsed,
+		Detail:   fmt.Sprintf("hit rate %.1f%%, %s/read", 100*coldRate, perOp(coldElapsed, reads)),
+	})
+	if warmRate <= coldRate {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"WARNING: warm restart hit rate %.1f%% did not beat cold restart %.1f%%", 100*warmRate, 100*coldRate))
+	}
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d objects × %d B on the remote tier (%s ms injected per remote read); %d reads, 80%% of them over the hottest %d objects",
+			n, blobBytes, fmt.Sprintf("%.1f", float64(latency)/float64(time.Millisecond)), reads, hot),
+		"budget rows run the identical read stream through a fresh cache at each byte budget; the first row is the uncached baseline, so cached rows' vs-fix ratios read as fractions of remote-only time",
+		"restart rows replay the stream at a 50%-of-universe budget: warm re-opens the directory the warm-up run filled, cold starts empty",
+	)
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// hitRateOf parses the "hit rate NN.N%" fragment out of a row detail.
+func hitRateOf(t *testing.T, r Row) float64 {
+	t.Helper()
+	i := strings.Index(r.Detail, "hit rate ")
+	if i < 0 {
+		t.Fatalf("%s: no hit rate in detail %q", r.System, r.Detail)
+	}
+	rest := r.Detail[i+len("hit rate "):]
+	j := strings.Index(rest, "%")
+	if j < 0 {
+		t.Fatalf("%s: malformed hit rate in %q", r.System, r.Detail)
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		t.Fatalf("%s: hit rate %q: %v", r.System, rest[:j], err)
+	}
+	return v
+}
+
+// TestFigStorage checks the experiment's acceptance properties: hit rate
+// grows with the cache budget, a full-universe budget beats the
+// remote-only baseline on wall time, and the warm-restart row's hit rate
+// beats the cold restart's.
+func TestFigStorage(t *testing.T) {
+	s := tinyScale()
+	s.StorObjects = 40
+	s.StorBlobBytes = 2 << 10
+	s.StorReads = 240
+	s.StorLFCFracs = []float64{0.25, 1}
+	s.StorRemoteLatency = time.Millisecond
+	res, err := FigStorage(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// remote-only + 2 budgets + warm + cold.
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5: %+v", len(res.Rows), res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s: no measurement", r.System)
+		}
+	}
+
+	small, full := res.Rows[1], res.Rows[2]
+	if hr, hf := hitRateOf(t, small), hitRateOf(t, full); hf <= hr {
+		t.Errorf("full-budget hit rate %.1f%% not above %.1f%% at 25%% budget", hf, hr)
+	}
+	if full.Measured >= res.Rows[0].Measured {
+		t.Errorf("full-budget run (%v) not faster than remote-only (%v)", full.Measured, res.Rows[0].Measured)
+	}
+
+	warm, cold := res.Rows[3], res.Rows[4]
+	if !strings.Contains(warm.System, "warm") || !strings.Contains(cold.System, "cold") {
+		t.Fatalf("restart rows misordered: %q, %q", warm.System, cold.System)
+	}
+	if hw, hc := hitRateOf(t, warm), hitRateOf(t, cold); hw <= hc {
+		t.Errorf("warm restart hit rate %.1f%% not above cold restart %.1f%%", hw, hc)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("unexpected warning note: %s", n)
+		}
+	}
+}

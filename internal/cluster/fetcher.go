@@ -27,7 +27,9 @@ func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, erro
 	k := keyOf(h)
 	defer obsv.FromContext(ctx).StartSpan("object_fetch", "").End()
 
-	// Single-flight: join an in-progress fetch if one exists.
+	// Single-flight: join an in-progress fetch if one exists. The wait
+	// carries the fetched bytes: re-reading the hot store here would race
+	// with a demotion pass evicting the freshly promoted copy.
 	n.mu.Lock()
 	if w, ok := n.fetchW[k]; ok {
 		n.mu.Unlock()
@@ -35,6 +37,9 @@ func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, erro
 		case <-w.done:
 			if w.err != nil {
 				return nil, w.err
+			}
+			if w.data != nil {
+				return w.data, nil
 			}
 			return n.st.ObjectBytes(k)
 		case <-ctx.Done():
@@ -77,16 +82,19 @@ func (f *clusterFetcher) Fetch(ctx context.Context, h core.Handle) ([]byte, erro
 		}
 	}
 
-	err := f.run(ctx, k, w, owners, peerByID)
+	data, err := f.run(ctx, k, w, owners, peerByID)
 	if err != nil {
-		n.completeFetch(k, err)
+		n.completeFetch(k, nil, err)
 		return nil, err
 	}
-	// Success paths (ingestObject or extra fetcher) completed the wait.
-	return n.st.ObjectBytes(k)
+	return data, nil
 }
 
-func (f *clusterFetcher) run(ctx context.Context, k core.Handle, w *fetchWait, owners []string, peerByID map[string]*peer) error {
+// run walks the owner tiers and returns the object's bytes. Every success
+// path hands the bytes both to the store (promotion) and to the fetch
+// wait, so neither this caller nor any joiner re-reads the store after
+// completion.
+func (f *clusterFetcher) run(ctx context.Context, k core.Handle, w *fetchWait, owners []string, peerByID map[string]*peer) ([]byte, error) {
 	n := f.n
 	var traceID string
 	if t := obsv.FromContext(ctx); t != nil {
@@ -103,7 +111,7 @@ func (f *clusterFetcher) run(ctx context.Context, k core.Handle, w *fetchWait, o
 		for {
 			select {
 			case <-w.done:
-				return w.err
+				return w.data, w.err
 			case from := <-w.miss:
 				if from == owner {
 					// This owner no longer has it; try the next.
@@ -111,27 +119,43 @@ func (f *clusterFetcher) run(ctx context.Context, k core.Handle, w *fetchWait, o
 					continue // stale miss from an earlier owner
 				}
 			case <-ctx.Done():
-				return ctx.Err()
+				return nil, ctx.Err()
 			}
 			break
 		}
 		// Check whether the object arrived through another path (e.g.
 		// pushed alongside a job) while we were waiting.
-		if n.st.Contains(k) {
-			n.completeFetch(k, nil)
-			return nil
+		if data, err := n.st.ObjectBytes(k); err == nil {
+			n.completeFetch(k, data, nil)
+			return data, nil
 		}
 	}
 	if n.opts.ExtraFetcher != nil {
 		data, err := n.opts.ExtraFetcher.Fetch(ctx, k)
-		if err != nil {
-			return fmt.Errorf("cluster: %v not found on any peer: %w", k, err)
+		if err == nil {
+			if err := n.st.PutObject(k, data); err != nil {
+				return nil, err
+			}
+			n.touch(k)
+			n.completeFetch(k, data, nil)
+			return data, nil
 		}
-		if err := n.st.PutObject(k, data); err != nil {
-			return err
-		}
-		n.completeFetch(k, nil)
-		return nil
 	}
-	return fmt.Errorf("cluster: object %v not found on any of %d known owners", k, len(owners))
+	// Final hop: the cold storage tier. A demoted object (or one whose
+	// every hot holder died) is recovered from here and promoted back
+	// into the hot store.
+	if tier := n.opts.Tier; tier != nil {
+		data, err := tier.Get(ctx, k)
+		if err == nil {
+			if err := n.st.PutObject(k, data); err != nil {
+				return nil, err
+			}
+			n.tier.fetches.Add(1)
+			n.touch(k)
+			n.completeFetch(k, data, nil)
+			return data, nil
+		}
+		n.tier.fetchMisses.Add(1)
+	}
+	return nil, fmt.Errorf("cluster: object %v not found on any of %d known owners", k, len(owners))
 }

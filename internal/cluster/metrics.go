@@ -3,6 +3,7 @@ package cluster
 import (
 	"fixgo/internal/durable"
 	"fixgo/internal/obsv"
+	"fixgo/internal/storage"
 )
 
 // NewNodeMetrics builds a worker's observability surface: a registry of
@@ -52,6 +53,10 @@ func NewNodeMetrics(n *Node, durableStats func() durable.Stats) (*obsv.Registry,
 		counter("cpu_iowait_seconds_total", "Core-time a claimed slot sat waiting for I/O", u.IOWait.Seconds())
 		counter("tasks_total", "Completed tasks", float64(u.Tasks))
 
+		if ss := n.StorageStats(); ss != nil {
+			EmitStorageStats(ss, counter, gauge)
+		}
+
 		if durableStats != nil {
 			ds := durableStats()
 			gauge("durable_objects", "Distinct objects in the durable index", float64(ds.Objects))
@@ -65,4 +70,30 @@ func NewNodeMetrics(n *Node, durableStats func() durable.Stats) (*obsv.Registry,
 		}
 	})
 	return reg, tr
+}
+
+// EmitStorageStats renders a storage.Stats snapshot through the given
+// counter/gauge emitters as the *_storage_* metric family set. The
+// worker registry above and the gateway's collector (internal/gateway)
+// both call it — under their respective fixpoint_/fixgate_ prefixes — so
+// dashboards read the same shape on both daemons.
+func EmitStorageStats(ss *storage.Stats, counter, gauge func(name, help string, v float64)) {
+	counter("storage_lfc_hits_total", "Reads served by the local file cache", float64(ss.LFCHits))
+	counter("storage_lfc_misses_total", "Reads that fell through the local file cache", float64(ss.LFCMisses))
+	counter("storage_lfc_fills_total", "Local file cache fills", float64(ss.LFCFills))
+	counter("storage_lfc_evictions_total", "Local file cache evictions under the byte budget", float64(ss.LFCEvictions))
+	gauge("storage_lfc_bytes", "Resident local file cache volume", float64(ss.LFCBytes))
+	gauge("storage_lfc_budget_bytes", "Configured local file cache byte budget", float64(ss.LFCBudget))
+	gauge("storage_lfc_entries", "Resident local file cache objects", float64(ss.LFCEntries))
+	counter("storage_remote_gets_total", "Reads served by the remote tier", float64(ss.RemoteGets))
+	counter("storage_remote_puts_total", "Objects written to the remote tier", float64(ss.RemotePuts))
+	counter("storage_remote_deletes_total", "Objects removed from the remote tier", float64(ss.RemoteDeletes))
+	counter("storage_remote_errors_total", "Remote tier operation failures", float64(ss.RemoteErrors))
+	gauge("storage_uploads_pending", "Async remote uploads queued or in flight", float64(ss.UploadsPending))
+	counter("storage_uploads_done_total", "Async remote uploads applied", float64(ss.UploadsDone))
+	counter("storage_upload_errors_total", "Async remote uploads failed", float64(ss.UploadErrors))
+	counter("storage_demoted_total", "Hot copies evicted after demotion to the tier", float64(ss.Demoted))
+	counter("storage_demote_passes_total", "Anti-entropy demotion sweeps", float64(ss.DemotePasses))
+	counter("storage_tier_fetches_total", "Fetch misses recovered from the tier", float64(ss.TierFetches))
+	counter("storage_tier_fetch_misses_total", "Fetch misses the tier could not recover", float64(ss.TierFetchMisses))
 }

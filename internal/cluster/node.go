@@ -38,6 +38,7 @@ import (
 	"fixgo/internal/proto"
 	"fixgo/internal/runtime"
 	"fixgo/internal/stats"
+	"fixgo/internal/storage"
 	"fixgo/internal/store"
 	"fixgo/internal/transport"
 )
@@ -95,6 +96,17 @@ type NodeOptions struct {
 	// ring (default objstore.DefaultVnodes). All nodes in a cluster must
 	// agree on it, or their rings diverge.
 	RingVnodes int
+	// Tier, when set, is the node's cold storage tier (internal/storage):
+	// the demotion pass spills cold objects into it and the fetcher's
+	// miss path ends with a tier lookup. Nil disables tiering. The tier's
+	// lifecycle is owned by the caller; Close does not close it.
+	Tier storage.Storage
+	// DemoteAfter is the idle window after which a resident object
+	// becomes a demotion candidate. Zero disables the demotion loop even
+	// with a Tier set (the tier then only serves fetch misses).
+	DemoteAfter time.Duration
+	// DemoteEvery is the demotion sweep interval (default DemoteAfter/2).
+	DemoteEvery time.Duration
 	// Tracer, when set, gives this node a local trace ring: delegated
 	// jobs arriving with a trace ID in their Job header are recorded
 	// under that same ID (eval span, outcome), so a worker's -debug-addr
@@ -122,6 +134,9 @@ func (o NodeOptions) withDefaults() NodeOptions {
 	}
 	if o.RingVnodes <= 0 {
 		o.RingVnodes = objstore.DefaultVnodes
+	}
+	if o.DemoteAfter > 0 && o.DemoteEvery <= 0 {
+		o.DemoteEvery = o.DemoteAfter / 2
 	}
 	return o
 }
@@ -199,8 +214,9 @@ type Node struct {
 	opts NodeOptions
 	st   *store.Store
 	eng  *runtime.Engine
+	tier tierState // demotion bookkeeping; counters live even with Tier nil
 
-	done chan struct{} // closed by Close; stops the heartbeat loop
+	done chan struct{} // closed by Close; stops the heartbeat and demote loops
 
 	mu      sync.Mutex
 	peers   map[string]*peer
@@ -249,6 +265,7 @@ func (p *peer) send(m *proto.Message) error {
 type fetchWait struct {
 	done chan struct{}
 	miss chan string
+	data []byte // the fetched bytes, set before done closes on success
 	err  error
 }
 
@@ -281,6 +298,7 @@ func NewNode(id string, opts NodeOptions) *Node {
 		pending: make(map[string]int),
 		rng:     rand.New(rand.NewSource(opts.Seed ^ int64(fnvHash(id)))),
 	}
+	n.tier.lastTouch = make(map[core.Handle]time.Time)
 	n.rebuildRingLocked()
 	n.eng = runtime.New(n.st, runtime.Options{
 		Cores:              opts.Cores,
@@ -294,6 +312,9 @@ func NewNode(id string, opts NodeOptions) *Node {
 	})
 	if opts.HeartbeatInterval > 0 {
 		go n.heartbeatLoop()
+	}
+	if opts.Tier != nil && opts.DemoteAfter > 0 {
+		go n.demoteLoop()
 	}
 	return n
 }
@@ -731,6 +752,9 @@ func (n *Node) viewAddLocked(h core.Handle, owner string) {
 
 func (n *Node) serveRequest(m *proto.Message) {
 	data, err := n.st.ObjectBytes(m.Handle)
+	if err == nil {
+		n.touch(m.Handle)
+	}
 	n.mu.Lock()
 	p := n.peers[m.From]
 	n.mu.Unlock()
@@ -750,20 +774,25 @@ func (n *Node) ingestObject(from string, h core.Handle, data []byte) bool {
 	if err := n.st.PutObject(h, data); err != nil {
 		return false
 	}
+	n.touch(h)
 	n.mu.Lock()
 	n.viewAddLocked(h, from)
 	n.mu.Unlock()
-	n.completeFetch(h, nil)
+	n.completeFetch(h, data, nil)
 	return true
 }
 
-// completeFetch finishes an outstanding fetch wait, if any.
-func (n *Node) completeFetch(h core.Handle, err error) {
+// completeFetch finishes an outstanding fetch wait, if any. Success
+// completions carry the object's bytes so waiters don't have to re-read
+// the hot store — a concurrent demotion pass may already have evicted
+// the copy the fetch just promoted.
+func (n *Node) completeFetch(h core.Handle, data []byte, err error) {
 	n.mu.Lock()
 	w := n.fetchW[keyOf(h)]
 	delete(n.fetchW, keyOf(h))
 	n.mu.Unlock()
 	if w != nil {
+		w.data = data
 		w.err = err
 		close(w.done)
 	}

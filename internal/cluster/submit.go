@@ -22,6 +22,22 @@ import (
 func (n *Node) PutBlob(data []byte) core.Handle {
 	h := n.st.PutBlob(data)
 	if !h.IsLiteral() {
+		n.touch(h)
+		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
+		n.replicate([]core.Handle{h}, false, "")
+	}
+	return h
+}
+
+// PutBlobOwned stores a Blob whose Handle the caller already computed
+// with a core.BlobHasher over exactly data, taking ownership of the slice
+// — the streaming upload path's no-copy, no-rehash insert — then
+// advertises and replicates like PutBlob. Implements
+// gateway.OwnedBlobPutter.
+func (n *Node) PutBlobOwned(h core.Handle, data []byte) core.Handle {
+	h = n.st.PutBlobOwned(h, data)
+	if !h.IsLiteral() {
+		n.touch(h)
 		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
 		n.replicate([]core.Handle{h}, false, "")
 	}
@@ -36,6 +52,7 @@ func (n *Node) PutTree(entries []core.Handle) (core.Handle, error) {
 	if err != nil {
 		return core.Handle{}, err
 	}
+	n.touch(h)
 	n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: []core.Handle{h}})
 	n.replicate([]core.Handle{h}, false, "")
 	return h, nil
@@ -73,6 +90,7 @@ func (n *Node) EvalBatch(ctx context.Context, hs []core.Handle) ([]core.Handle, 
 // peers (or the ExtraFetcher) when it is not locally resident.
 func (n *Node) ObjectBytes(ctx context.Context, h core.Handle) ([]byte, error) {
 	if data, err := n.st.ObjectBytes(h); err == nil {
+		n.touch(h)
 		return data, nil
 	}
 	f := &clusterFetcher{n: n}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/core"
+	"fixgo/internal/storage"
+)
+
+// This file wires the tiered-storage spill path into the node. With
+// NodeOptions.Tier set, the node gains a cold tier under its hot
+// in-memory store: an anti-entropy demotion pass uploads cold objects to
+// the tier and evicts the hot copy once the tier's remote side confirms
+// it, and the fetcher's miss path (fetcher.go) ends with a tier lookup so
+// a demoted object — or one whose every hot holder died — is always
+// recoverable. A tier fetch re-inserts the object into the hot store and
+// refreshes its access time: that is the promotion half of the lifecycle.
+
+// tierState is the node's demotion bookkeeping: last-access times for
+// resident objects and the spill counters merged into StorageStats.
+type tierState struct {
+	mu        sync.Mutex
+	lastTouch map[core.Handle]time.Time
+
+	demoted      atomic.Uint64
+	demotePasses atomic.Uint64
+	fetches      atomic.Uint64
+	fetchMisses  atomic.Uint64
+}
+
+// touch records an access to h so the demotion pass sees it as hot. It is
+// called on every write, ingest, serve, and fetch of an object; objects
+// the node produced internally (eval outputs) are first-sight-stamped by
+// the next demotion pass instead, which gives them a full DemoteAfter
+// window too.
+func (n *Node) touch(h core.Handle) {
+	if n.opts.Tier == nil {
+		return
+	}
+	k := keyOf(h)
+	if k.IsLiteral() {
+		return
+	}
+	n.tier.mu.Lock()
+	n.tier.lastTouch[k] = time.Now()
+	n.tier.mu.Unlock()
+}
+
+// SetTier attaches a spill tier after construction. The boot paths need
+// this ordering: in hybrid mode the tier's local side is the durable
+// store, which attaches to the node's runtime store only after NewNode
+// returns. It must be called before the node starts serving peers or
+// jobs — tier reads are unsynchronized against it. When demoteAfter is
+// positive the demotion loop starts here, sweeping every demoteAfter/2
+// (NodeOptions.DemoteEvery is unset on this path).
+func (n *Node) SetTier(tier storage.Storage, demoteAfter time.Duration) {
+	if tier == nil {
+		return
+	}
+	n.opts.Tier = tier
+	n.opts.DemoteAfter = demoteAfter
+	if demoteAfter > 0 {
+		if n.opts.DemoteEvery <= 0 {
+			n.opts.DemoteEvery = demoteAfter / 2
+		}
+		go n.demoteLoop()
+	}
+}
+
+// demoteLoop runs demotion passes every DemoteEvery until Close.
+func (n *Node) demoteLoop() {
+	t := time.NewTicker(n.opts.DemoteEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.DemotePass(context.Background())
+		}
+	}
+}
+
+// DemotePass runs one anti-entropy demotion sweep: every resident object
+// not accessed within DemoteAfter is uploaded to the tier, buffered tier
+// writes are flushed, and the hot copy is evicted only after the tier's
+// remote side confirms it holds the object. With replication on, objects
+// this node cannot account R copies of are skipped — the repair pass gets
+// to re-establish replicas before demotion thins holders. Pinned objects
+// survive (store.Evict refuses them). It returns the number of hot copies
+// evicted. The loop calls it on a ticker; tests and operators may call it
+// directly.
+func (n *Node) DemotePass(ctx context.Context) int {
+	tier := n.opts.Tier
+	if tier == nil || n.isClosed() {
+		return 0
+	}
+	now := time.Now()
+	cutoff := now.Add(-n.opts.DemoteAfter)
+	resident := make(map[core.Handle]struct{})
+	var all []core.Handle
+	n.st.ForEach(func(h core.Handle, size uint64) {
+		resident[h] = struct{}{}
+		all = append(all, h)
+	})
+
+	var cold []core.Handle
+	n.tier.mu.Lock()
+	// Prune bookkeeping for objects that left the store by other means.
+	for h := range n.tier.lastTouch {
+		if _, ok := resident[h]; !ok {
+			delete(n.tier.lastTouch, h)
+		}
+	}
+	for _, h := range all {
+		t, ok := n.tier.lastTouch[h]
+		if !ok {
+			// First sight: stamp it and give it a full window.
+			n.tier.lastTouch[h] = now
+			continue
+		}
+		if t.Before(cutoff) {
+			cold = append(cold, h)
+		}
+	}
+	n.tier.mu.Unlock()
+
+	// Upload every cold object first, then flush once, then confirm and
+	// evict — one queue drain covers the whole batch.
+	uploaded := cold[:0]
+	for _, k := range cold {
+		if ctx.Err() != nil {
+			break
+		}
+		if n.opts.Replicas > 1 && n.ReplicaCount(k) < n.opts.Replicas {
+			continue
+		}
+		data, err := n.st.ObjectBytes(k)
+		if err != nil {
+			continue
+		}
+		if err := tier.Put(ctx, k, data); err != nil {
+			continue
+		}
+		uploaded = append(uploaded, k)
+	}
+	if f, ok := tier.(storage.Flusher); ok && len(uploaded) > 0 {
+		if err := f.Flush(ctx); err != nil {
+			n.tier.demotePasses.Add(1)
+			return 0
+		}
+	}
+	demoted := 0
+	for _, k := range uploaded {
+		ok, err := tierRemoteHas(ctx, tier, k)
+		if err != nil || !ok {
+			continue
+		}
+		if n.st.Evict(k) {
+			demoted++
+			n.tier.mu.Lock()
+			delete(n.tier.lastTouch, k)
+			n.tier.mu.Unlock()
+		}
+	}
+	n.tier.demoted.Add(uint64(demoted))
+	n.tier.demotePasses.Add(1)
+	return demoted
+}
+
+// tierRemoteHas confirms the durable (remote) side of the tier holds k:
+// composite tiers answer through RemoteConfirmer, simple tiers through
+// Has.
+func tierRemoteHas(ctx context.Context, tier storage.Storage, k core.Handle) (bool, error) {
+	if rc, ok := tier.(storage.RemoteConfirmer); ok {
+		return rc.RemoteHas(ctx, k)
+	}
+	return tier.Has(ctx, k)
+}
+
+// StorageStats snapshots the node's tier counters merged with the tier's
+// own (LFC, remote, upload queue), or nil when the node has no tier.
+// The gateway surfaces it at /v1/stats and as the fixgate_storage_*
+// families; NewNodeMetrics emits the fixpoint_storage_* twins.
+func (n *Node) StorageStats() *storage.Stats {
+	tier := n.opts.Tier
+	if tier == nil {
+		return nil
+	}
+	var out storage.Stats
+	if p, ok := tier.(storage.StatsProvider); ok {
+		out = p.StorageStats()
+	}
+	out.Demoted += n.tier.demoted.Load()
+	out.DemotePasses += n.tier.demotePasses.Load()
+	out.TierFetches += n.tier.fetches.Load()
+	out.TierFetchMisses += n.tier.fetchMisses.Load()
+	return &out
+}

@@ -25,6 +25,7 @@ var gatedPackages = []string{
 	"../../internal/transport",
 	"../../internal/durable",
 	"../../internal/obsv",
+	"../../internal/storage",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported top-level
@@ -132,7 +133,7 @@ var gatedDocs = []string{
 // gate — fails CI.
 var gatedBenchIDs = []string{
 	"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10",
-	"gateway", "durable", "jobs", "cluster", "replication", "trace",
+	"gateway", "durable", "jobs", "cluster", "replication", "storage", "trace",
 }
 
 // benchResult mirrors bench.JSONResult field for field; decoding with

@@ -11,6 +11,7 @@ import (
 	"fixgo/internal/durable"
 	"fixgo/internal/gateway"
 	"fixgo/internal/obsv"
+	"fixgo/internal/storage"
 )
 
 // familyName is the naming contract for every metric family this repo
@@ -31,8 +32,20 @@ func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
 	}
 
 	// The gateway over a client-only cluster node, with every optional
-	// stats section switched on.
-	edge := cluster.NewNode("edge", cluster.NodeOptions{Cores: 1, ClientOnly: true})
+	// stats section switched on — a storage tier included, so the
+	// fixgate_storage_* families emit.
+	newTier := func() storage.Storage {
+		remote, err := storage.NewDir(t.TempDir(), storage.DirOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tier, err := storage.NewLFC(t.TempDir(), 1<<20, remote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tier
+	}
+	edge := cluster.NewNode("edge", cluster.NodeOptions{Cores: 1, ClientOnly: true, Tier: newTier()})
 	defer edge.Close()
 	srv, err := gateway.NewServer(gateway.Options{
 		Backend:       edge,
@@ -50,8 +63,8 @@ func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
 	req.Header.Set(gateway.TenantHeader, "lint")
 	srv.Handler().ServeHTTP(httptest.NewRecorder(), req)
 
-	// A worker's registry, durable section included.
-	worker := cluster.NewNode("w0", cluster.NodeOptions{Cores: 1})
+	// A worker's registry, durable and storage sections included.
+	worker := cluster.NewNode("w0", cluster.NodeOptions{Cores: 1, Tier: newTier()})
 	defer worker.Close()
 	workerReg, _ := cluster.NewNodeMetrics(worker, func() durable.Stats { return durable.Stats{} })
 
@@ -82,6 +95,13 @@ func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
 		"fixgate_batch_items_total",
 		"fixgate_batch_max_items",
 		"fixgate_batch_size",
+		"fixgate_storage_lfc_hits_total",
+		"fixgate_storage_lfc_bytes",
+		"fixgate_storage_lfc_budget_bytes",
+		"fixgate_storage_remote_gets_total",
+		"fixgate_storage_uploads_pending",
+		"fixgate_storage_demoted_total",
+		"fixgate_storage_tier_fetches_total",
 	}
 	emitted := map[string]bool{}
 	for _, f := range srv.Metrics().Snapshot() {

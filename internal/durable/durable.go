@@ -314,6 +314,24 @@ func (d *Store) Stats() Stats {
 	return st
 }
 
+// ForEachObject calls fn for every object handle in the pack index,
+// stopping early if fn returns an error. fn must not call back into the
+// Store. The iteration order is unspecified.
+func (d *Store) ForEachObject(fn func(h core.Handle) error) error {
+	d.mu.Lock()
+	handles := make([]core.Handle, 0, len(d.index))
+	for h := range d.index {
+		handles = append(handles, h)
+	}
+	d.mu.Unlock()
+	for _, h := range handles {
+		if err := fn(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Contains reports whether an object record for h is on disk.
 func (d *Store) Contains(h core.Handle) bool {
 	d.mu.Lock()

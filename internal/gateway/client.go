@@ -13,11 +13,17 @@ import (
 	"fixgo/internal/core"
 )
 
+// DefaultMaxBlobBytes is the client-side download bound of BlobBytes,
+// mirroring the server's default Options.MaxBlobBytes: a well-behaved
+// gateway never serves a Blob larger than it accepts.
+const DefaultMaxBlobBytes = 64 << 20
+
 // Client is the Go SDK for a gateway's HTTP API.
 type Client struct {
-	base   string
-	tenant string
-	hc     *http.Client
+	base     string
+	tenant   string
+	maxBytes int64
+	hc       *http.Client
 }
 
 // ClientOption customizes a Client.
@@ -34,16 +40,49 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithMaxBlobBytes overrides the BlobBytes download bound (default
+// DefaultMaxBlobBytes). Raise it to match a gateway deployed with a
+// larger -max-blob; it never disables the bound.
+func WithMaxBlobBytes(n int64) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxBytes = n
+		}
+	}
+}
+
 // NewClient targets a gateway at base, e.g. "http://127.0.0.1:7670".
 func NewClient(base string, opts ...ClientOption) *Client {
 	c := &Client{
-		base: base,
-		hc:   &http.Client{Timeout: 5 * time.Minute},
+		base:     base,
+		maxBytes: DefaultMaxBlobBytes,
+		hc:       &http.Client{Timeout: 5 * time.Minute},
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// BlobTooLargeError reports a BlobBytes download that exceeded the
+// client's configured bound; the partial body is discarded. A handle
+// whose declared size already exceeds the bound fails before any byte
+// moves.
+type BlobTooLargeError struct {
+	// Limit is the configured download bound in bytes.
+	Limit int64
+}
+
+// Error renders the exceeded bound.
+func (e *BlobTooLargeError) Error() string {
+	return fmt.Sprintf("gateway: blob exceeds client download limit of %d bytes", e.Limit)
+}
+
+// IsBlobTooLarge reports whether err is a client-side download-bound
+// violation.
+func IsBlobTooLarge(err error) bool {
+	var tl *BlobTooLargeError
+	return errors.As(err, &tl)
 }
 
 // StatusError reports a non-2xx gateway response.
@@ -183,10 +222,18 @@ func (c *Client) SubmitBatch(ctx context.Context, hs []core.Handle) ([]BatchResu
 	return out, nil
 }
 
-// BlobBytes downloads an object's packed bytes.
+// BlobBytes downloads an object's packed bytes. The read is bounded by
+// the client's configured limit (WithMaxBlobBytes, default
+// DefaultMaxBlobBytes): a misbehaving gateway serving an endless body
+// yields a typed *BlobTooLargeError instead of exhausting client memory.
 func (c *Client) BlobBytes(ctx context.Context, h core.Handle) ([]byte, error) {
 	if h.IsLiteral() {
 		return h.LiteralData(), nil
+	}
+	// Blob handles carry their payload size; refuse an over-limit
+	// download before any byte moves.
+	if h.Kind() == core.KindBlob && h.Size() > uint64(c.maxBytes) {
+		return nil, &BlobTooLargeError{Limit: c.maxBytes}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/blobs/"+FormatHandle(h), nil)
 	if err != nil {
@@ -201,7 +248,14 @@ func (c *Client) BlobBytes(ctx context.Context, h core.Handle) ([]byte, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
-	return io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.maxBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > c.maxBytes {
+		return nil, &BlobTooLargeError{Limit: c.maxBytes}
+	}
+	return data, nil
 }
 
 // Stats fetches the gateway's counters.

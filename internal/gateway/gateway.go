@@ -91,6 +91,12 @@ func (b *EngineBackend) EvalBatch(ctx context.Context, hs []core.Handle) ([]core
 // PutBlob stores a Blob.
 func (b *EngineBackend) PutBlob(data []byte) core.Handle { return b.eng.Store().PutBlob(data) }
 
+// PutBlobOwned stores a pre-hashed Blob without copying or re-hashing,
+// taking ownership of data. Implements OwnedBlobPutter.
+func (b *EngineBackend) PutBlobOwned(h core.Handle, data []byte) core.Handle {
+	return b.eng.Store().PutBlobOwned(h, data)
+}
+
 // PutTree stores a Tree.
 func (b *EngineBackend) PutTree(entries []core.Handle) (core.Handle, error) {
 	return b.eng.Store().PutTree(entries)

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"fixgo/internal/cluster"
 	"fixgo/internal/obsv"
 )
 
@@ -122,6 +123,10 @@ func (s *Server) collectStats(emit func(obsv.Sample)) {
 		counter("cluster_replicas_acked_total", "Replica push acknowledgements", float64(cs.ReplicasAcked))
 		counter("cluster_repair_passes_total", "Anti-entropy repair passes", float64(cs.RepairPasses))
 		counter("cluster_repair_replicas_sent_total", "Replica pushes sent by repair passes", float64(cs.RepairReplicasSent))
+	}
+
+	if st.Storage != nil {
+		cluster.EmitStorageStats(st.Storage, counter, gauge)
 	}
 
 	if st.Jobs != nil {

@@ -20,6 +20,7 @@ import (
 	"fixgo/internal/durable"
 	"fixgo/internal/obsv"
 	"fixgo/internal/runtime"
+	"fixgo/internal/storage"
 	"fixgo/internal/transport"
 )
 
@@ -155,7 +156,17 @@ func isNumericKind(k reflect.Kind) bool {
 // scrape. Aliases cover the few fields whose family names diverge from
 // their json tags for Prometheus-idiom reasons.
 func TestStatsMetricsParity(t *testing.T) {
-	edge := cluster.NewNode("edge", cluster.NodeOptions{Cores: 1, ClientOnly: true})
+	// The edge carries a storage tier so the stats report's storage
+	// section (and its fixgate_storage_* families) is exercised too.
+	remote, err := storage.NewDir(t.TempDir(), storage.DirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := storage.NewLFC(t.TempDir(), 1<<20, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := cluster.NewNode("edge", cluster.NodeOptions{Cores: 1, ClientOnly: true, Tier: tier})
 	defer edge.Close()
 	srv, c := newTestGateway(t, Options{
 		Backend:       edge,
@@ -176,9 +187,9 @@ func TestStatsMetricsParity(t *testing.T) {
 	}
 
 	st := srv.Stats()
-	if st.Jobs == nil || st.Cluster == nil || st.Durable == nil {
-		t.Fatalf("stats sections missing: jobs=%v cluster=%v durable=%v",
-			st.Jobs != nil, st.Cluster != nil, st.Durable != nil)
+	if st.Jobs == nil || st.Cluster == nil || st.Durable == nil || st.Storage == nil {
+		t.Fatalf("stats sections missing: jobs=%v cluster=%v durable=%v storage=%v",
+			st.Jobs != nil, st.Cluster != nil, st.Durable != nil, st.Storage != nil)
 	}
 
 	aliases := map[string]string{
@@ -227,6 +238,7 @@ func TestStatsMetricsParity(t *testing.T) {
 	check("fixgate_async_", reflect.ValueOf(*st.Jobs))
 	check("fixgate_cluster_", reflect.ValueOf(*st.Cluster))
 	check("fixgate_durable_", reflect.ValueOf(*st.Durable))
+	check("fixgate_storage_", reflect.ValueOf(*st.Storage))
 
 	for _, want := range []string{
 		"fixgate_tenant_jobs_total", "fixgate_tenant_hits_total",

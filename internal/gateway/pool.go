@@ -38,3 +38,22 @@ func putBuf(b *bytes.Buffer) {
 	b.Reset()
 	bufPool.Put(b)
 }
+
+// chunkSize is the fixed read size of the streaming blob-upload path:
+// large enough to amortize syscall overhead, small enough that the
+// per-request transient footprint stays constant regardless of blob size.
+const chunkSize = 256 << 10
+
+var chunkPool = sync.Pool{New: func() any { return make([]byte, chunkSize) }}
+
+// getChunk returns a fixed-size read buffer from the pool. The same
+// escape contract as getBuf applies: the chunk's bytes must be consumed
+// (hashed, appended elsewhere) before putChunk.
+func getChunk() []byte {
+	return chunkPool.Get().([]byte)
+}
+
+// putChunk recycles a read chunk.
+func putChunk(b []byte) {
+	chunkPool.Put(b)
+}

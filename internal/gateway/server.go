@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"fixgo/internal/durable"
 	"fixgo/internal/jobs"
 	"fixgo/internal/obsv"
+	"fixgo/internal/storage"
 )
 
 // Options configures a gateway Server.
@@ -160,7 +162,11 @@ type Stats struct {
 	Cluster *cluster.NetStats `json:"cluster,omitempty"`
 	// Durable is the durable store's snapshot (nil when persistence is
 	// not configured): object/memo counts, pack footprint, GC activity.
-	Durable *durable.Stats          `json:"durable,omitempty"`
+	Durable *durable.Stats `json:"durable,omitempty"`
+	// Storage is the tiered-storage snapshot (nil when the backend has no
+	// cold tier): LFC hit/miss/eviction counters, remote tier traffic,
+	// async upload queue, and demotion activity.
+	Storage *storage.Stats          `json:"storage,omitempty"`
 	Tenants map[string]*TenantStats `json:"tenants"`
 }
 
@@ -168,6 +174,22 @@ type Stats struct {
 // the gateway surfaces it in /v1/stats and /metrics when present.
 type netStatser interface {
 	NetStats() cluster.NetStats
+}
+
+// storageStatser is the optional Backend facet a tiered cluster node
+// implements (StorageStats returns nil without a tier); the gateway
+// surfaces it in /v1/stats and as the fixgate_storage_* families.
+type storageStatser interface {
+	StorageStats() *storage.Stats
+}
+
+// OwnedBlobPutter is the optional Backend facet for the streaming upload
+// path: the gateway hashes the body incrementally while reading it and
+// hands over an owned slice plus its precomputed Handle, so the backend
+// can insert without copying or re-hashing. cluster.Node and
+// *EngineBackend implement it.
+type OwnedBlobPutter interface {
+	PutBlobOwned(h core.Handle, data []byte) core.Handle
 }
 
 // NewServer builds a gateway over opts.Backend.
@@ -297,6 +319,9 @@ func (s *Server) Stats() Stats {
 		cs := ns.NetStats()
 		out.Cluster = &cs
 	}
+	if ss, ok := s.opts.Backend.(storageStatser); ok {
+		out.Storage = ss.StorageStats()
+	}
 	if s.opts.DurableStats != nil {
 		ds := s.opts.DurableStats()
 		out.Durable = &ds
@@ -352,24 +377,46 @@ type (
 
 func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(r)
-	// Slurp into a pooled buffer so repeated uploads reuse growth
-	// capacity; the backend gets an exact-size copy because it retains
-	// the bytes past this request.
-	buf := getBuf()
-	defer putBuf(buf)
-	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.opts.MaxBlobBytes)); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("blob exceeds %d-byte limit", s.opts.MaxBlobBytes))
+	// Stream the body in fixed-size chunk reads through an incremental
+	// hasher instead of slurping it whole into one pooled buffer: the
+	// transient footprint per upload is one pooled chunk, and the handle
+	// is already computed when the last byte arrives. The destination
+	// slice is owned (the backend retains it past this request), sized
+	// from Content-Length when the client declared one within bounds.
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBlobBytes)
+	hasher := core.NewBlobHasher()
+	var data []byte
+	if cl := r.ContentLength; cl > 0 && cl <= s.opts.MaxBlobBytes {
+		data = make([]byte, 0, cl)
+	}
+	chunk := getChunk()
+	defer putChunk(chunk)
+	for {
+		n, err := body.Read(chunk)
+		if n > 0 {
+			hasher.Write(chunk[:n])
+			data = append(data, chunk[:n]...)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.fail(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("blob exceeds %d-byte limit", s.opts.MaxBlobBytes))
+				return
+			}
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 			return
 		}
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
-		return
 	}
-	data := make([]byte, buf.Len())
-	copy(data, buf.Bytes())
-	h := s.opts.Backend.PutBlob(data)
+	h := hasher.Handle()
+	if op, ok := s.opts.Backend.(OwnedBlobPutter); ok {
+		h = op.PutBlobOwned(h, data)
+	} else {
+		h = s.opts.Backend.PutBlob(data)
+	}
 	t.uploads.Add(1)
 	s.reply(w, http.StatusOK, HandleReply{Handle: FormatHandle(h)})
 }

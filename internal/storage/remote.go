@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/core"
+)
+
+// tmpPrefix marks in-flight object files; List and the LFC warm scan skip
+// them, and a crash mid-write leaves only a skippable temp file behind.
+const tmpPrefix = "tmp-"
+
+// DirOptions configures a Dir tier.
+type DirOptions struct {
+	// Latency, when positive, is added to every Get and Put to simulate a
+	// remote blob service's round trip. Benches use it; production
+	// deployments leave it zero.
+	Latency time.Duration
+}
+
+// Dir is an S3-like blob tier over a local directory: one file per
+// object, sharded by the first byte of the handle, filled by write to a
+// temp file plus atomic rename. It stands in for a real remote blob
+// service in tests and benches, and is a usable single-machine remote
+// tier (e.g. a directory on network-attached storage).
+type Dir struct {
+	dir     string
+	latency time.Duration
+
+	gets    atomic.Uint64
+	puts    atomic.Uint64
+	deletes atomic.Uint64
+	errors  atomic.Uint64
+}
+
+// NewDir opens (creating if needed) a directory-backed tier rooted at dir.
+func NewDir(dir string, opts DirOptions) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create remote dir: %w", err)
+	}
+	return &Dir{dir: dir, latency: opts.Latency}, nil
+}
+
+// Dir returns the tier's root directory.
+func (d *Dir) Dir() string { return d.dir }
+
+func (d *Dir) path(h core.Handle) string {
+	name := hex.EncodeToString(h[:])
+	return filepath.Join(d.dir, name[:2], name)
+}
+
+func (d *Dir) sleep(ctx context.Context) error {
+	if d.latency <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d.latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Get reads the object file for h.
+func (d *Dir) Get(ctx context.Context, h core.Handle) ([]byte, error) {
+	if err := d.sleep(ctx); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(d.path(h))
+	if os.IsNotExist(err) {
+		return nil, &NotFoundError{Handle: h, Tier: "remote"}
+	}
+	if err != nil {
+		d.errors.Add(1)
+		return nil, err
+	}
+	d.gets.Add(1)
+	return data, nil
+}
+
+// Put writes the object file for h via a temp file and atomic rename. An
+// already-present object is left untouched.
+func (d *Dir) Put(ctx context.Context, h core.Handle, data []byte) error {
+	if h.IsLiteral() {
+		return nil
+	}
+	if err := d.sleep(ctx); err != nil {
+		return err
+	}
+	path := d.path(h)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		d.errors.Add(1)
+		return err
+	}
+	if err := writeAtomic(shard, path, data); err != nil {
+		d.errors.Add(1)
+		return err
+	}
+	d.puts.Add(1)
+	return nil
+}
+
+// Has reports whether the object file for h exists.
+func (d *Dir) Has(ctx context.Context, h core.Handle) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	_, err := os.Stat(d.path(h))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	d.errors.Add(1)
+	return false, err
+}
+
+// Delete removes the object file for h; deleting an absent object is not
+// an error.
+func (d *Dir) Delete(ctx context.Context, h core.Handle) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := os.Remove(d.path(h))
+	if err != nil && !os.IsNotExist(err) {
+		d.errors.Add(1)
+		return err
+	}
+	if err == nil {
+		d.deletes.Add(1)
+	}
+	return nil
+}
+
+// List walks the shard directories and calls fn for every stored handle.
+func (d *Dir) List(ctx context.Context, fn func(h core.Handle) error) error {
+	return filepath.WalkDir(d.dir, func(path string, e os.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		h, ok := handleFromName(e.Name())
+		if !ok {
+			return nil
+		}
+		return fn(h)
+	})
+}
+
+// Close is a no-op; Dir holds no open resources between operations.
+func (d *Dir) Close() error { return nil }
+
+// StorageStats implements StatsProvider.
+func (d *Dir) StorageStats() Stats {
+	return Stats{
+		RemoteGets:    d.gets.Load(),
+		RemotePuts:    d.puts.Load(),
+		RemoteDeletes: d.deletes.Load(),
+		RemoteErrors:  d.errors.Load(),
+	}
+}
+
+// handleFromName decodes a hex object filename back into its Handle,
+// rejecting temp files and foreign names.
+func handleFromName(name string) (core.Handle, bool) {
+	if len(name) != 2*core.HandleSize || len(name) >= len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix {
+		return core.Handle{}, false
+	}
+	raw, err := hex.DecodeString(name)
+	if err != nil || len(raw) != core.HandleSize {
+		return core.Handle{}, false
+	}
+	var h core.Handle
+	copy(h[:], raw)
+	return h, true
+}
+
+// writeAtomic writes data to path by creating a temp file in dir and
+// renaming it into place, so readers never observe a partial object.
+func writeAtomic(dir, path string, data []byte) error {
+	f, err := os.CreateTemp(dir, tmpPrefix)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -142,6 +142,35 @@ func (s *Store) PutBlob(data []byte) core.Handle {
 	return h
 }
 
+// PutBlobOwned stores a Blob whose Handle the caller already computed —
+// e.g. incrementally with a core.BlobHasher while streaming the body —
+// taking ownership of data: no copy is made and the bytes are not
+// re-hashed, so the caller must not retain or mutate the slice and h
+// must be BlobHandle(data). Literal Handles return immediately; a
+// mismatched size falls back to the checked PutBlob path.
+func (s *Store) PutBlobOwned(h core.Handle, data []byte) core.Handle {
+	if h.IsLiteral() {
+		return h
+	}
+	if h.Kind() != core.KindBlob || h.Size() != uint64(len(data)) {
+		return s.PutBlob(data)
+	}
+	h = canonical(h)
+	s.mu.Lock()
+	inserted := false
+	if _, ok := s.blobs[h]; !ok {
+		s.blobs[h] = data
+		s.bytes += uint64(len(data))
+		inserted = true
+	}
+	p := s.persister
+	s.mu.Unlock()
+	if inserted {
+		s.persist(p, func(p Persister) error { return p.PersistBlob(h, data) })
+	}
+	return h
+}
+
 // PutTree stores a Tree and returns its Object Handle. Every entry is
 // validated.
 func (s *Store) PutTree(entries []core.Handle) (core.Handle, error) {

@@ -437,3 +437,50 @@ func TestConcurrentPinUnpin(t *testing.T) {
 		t.Fatal("balanced pin/unpin should leave the object evictable")
 	}
 }
+
+// TestPutBlobOwned pins the zero-copy ingest path: a pre-hashed blob is
+// stored without copying, literals are returned untouched, and a handle
+// that does not match the payload falls back to the checked PutBlob.
+func TestPutBlobOwned(t *testing.T) {
+	s := New()
+	data := bytes.Repeat([]byte{9}, 100)
+	h := core.BlobHandle(data)
+	if got := s.PutBlobOwned(h, data); got != h {
+		t.Fatalf("PutBlobOwned returned %v, want %v", got, h)
+	}
+	got, err := s.Blob(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("stored blob differs from input")
+	}
+	// Ownership transfer, not copy: the store holds the same backing array.
+	if &got[0] != &data[0] {
+		t.Error("PutBlobOwned copied the payload")
+	}
+
+	// Literal: nothing stored, handle echoed.
+	lit := core.BlobHandle([]byte("tiny"))
+	if got := s.PutBlobOwned(lit, []byte("tiny")); got != lit {
+		t.Errorf("literal PutBlobOwned returned %v, want %v", got, lit)
+	}
+
+	// Mismatched handle (wrong size) falls back to checked hashing.
+	other := bytes.Repeat([]byte{3}, 64)
+	wrong := core.BlobHandle(bytes.Repeat([]byte{3}, 65))
+	fixed := s.PutBlobOwned(wrong, other)
+	if fixed != core.BlobHandle(other) {
+		t.Errorf("mismatched handle not re-hashed: got %v", fixed)
+	}
+	if back, err := s.Blob(fixed); err != nil || !bytes.Equal(back, other) {
+		t.Errorf("fallback blob read = (%v, %v)", back, err)
+	}
+
+	// Idempotent re-insert keeps accounting sane.
+	before := s.TotalBytes()
+	s.PutBlobOwned(h, append([]byte(nil), data...))
+	if after := s.TotalBytes(); after != before {
+		t.Errorf("duplicate PutBlobOwned changed byte accounting: %d -> %d", before, after)
+	}
+}
