@@ -8,6 +8,8 @@
 //	fixgate -listen :7670 -peers host-a:7600,host-b:7600
 //	fixgate -listen :7670 -cluster-listen :7601    # workers dial in
 //	fixgate -listen :7670 -data-dir /var/lib/fixgate
+//	fixgate -listen :7670 -gw-listen :7680 -gw-peers gw-b:7680
+//	                                               # replicated edge
 //
 // With -data-dir, uploads and memoized results write-through to a
 // crash-recoverable store (internal/durable), on boot the result cache
@@ -21,6 +23,15 @@
 // by -async-workers workers with per-tenant fair scheduling, and clients
 // follow up via GET /v1/jobs/{id} (long-poll with ?wait=30s), the SSE
 // stream at /v1/jobs/{id}/events, or DELETE /v1/jobs/{id} to cancel.
+//
+// With -gw-peers and/or -gw-listen the gateway joins a replicated edge
+// of peer fixgates (internal/edgelog): each accepted async job is
+// replicated to the peers before its 202 is acked, a dead gateway's
+// undrained jobs are adopted exactly once by a surviving peer, and
+// memoized results gossip between the gateways as cache-warm hints.
+// -gw-id names this gateway in the edge (default: -id) and must stay
+// stable across restarts; with -data-dir the edge log journals to
+// <data-dir>/edge.journal and is recovered on boot.
 //
 // With -peers (or -cluster-listen) the gateway fronts a cluster of
 // cmd/fixpoint workers as a client-only node: uploads are advertised to
@@ -68,6 +79,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated fixpoint worker addresses to dial")
 	clusterListen := flag.String("cluster-listen", "", "optional transport listen address for inbound workers")
 	id := flag.String("id", "fixgate", "gateway's cluster node identifier")
+	gwID := flag.String("gw-id", "", "replicated-edge gateway identity, stable across restarts (default: -id)")
+	gwPeers := flag.String("gw-peers", "", "comma-separated peer gateway edge addresses to dial (enables the replicated edge)")
+	gwListen := flag.String("gw-listen", "", "transport listen address for inbound peer gateways (enables the replicated edge)")
 	cores := flag.Int("cores", 8, "CPU slots (in-process engine mode)")
 	memGiB := flag.Uint64("mem-gib", 16, "RAM capacity in GiB (in-process engine mode)")
 	cacheEntries := flag.Int("cache", 4096, "result cache entries (0 disables caching and collapsing)")
@@ -232,11 +246,49 @@ func main() {
 		gwOpts.JobsJournalPath = filepath.Join(*dataDir, "jobs.journal")
 		gwOpts.JobsFsync = policy
 	}
+	edged := *gwPeers != "" || *gwListen != ""
+	if edged {
+		gwOpts.EdgeID = *gwID
+		if gwOpts.EdgeID == "" {
+			gwOpts.EdgeID = *id
+		}
+		if *dataDir != "" {
+			gwOpts.EdgeJournalPath = filepath.Join(*dataDir, "edge.journal")
+		}
+	}
 	srv, err := gateway.NewServer(gwOpts)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
+	if edged {
+		// Peer gateways boot in arbitrary order; retry each dial so a
+		// whole edge can be started by one script without sequencing.
+		for _, addr := range strings.Split(*gwPeers, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			conn, err := transport.DialRetry(addr, 250*time.Millisecond, 30*time.Second)
+			if err != nil {
+				fatal(fmt.Errorf("dial peer gateway %s: %w", addr, err))
+			}
+			srv.AttachEdgePeer(conn)
+			fmt.Printf("fixgate: replicated edge peer %s connected\n", addr)
+		}
+		if *gwListen != "" {
+			l, err := transport.Listen(*gwListen)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fixgate: accepting peer gateways on %s (edge id %s)\n", l.Addr(), gwOpts.EdgeID)
+			go func() {
+				if err := transport.Serve(l, srv.AttachEdgePeer); err != nil {
+					log.Printf("fixgate: edge accept loop: %v", err)
+				}
+			}()
+		}
+	}
 	obs := srv.PersistObserver()
 	persistObs.Store(&obs)
 	if *debugAddr != "" {

@@ -105,6 +105,17 @@ type Scale struct {
 	StorLFCFracs      []float64     // LFC budgets to sweep, as fractions of the universe
 	StorRemoteLatency time.Duration // injected per remote-tier read
 
+	// Replicated multi-gateway edge experiment (internal/edgelog,
+	// internal/gateway).
+	MGWGateways     []int         // gateway counts to sweep (e.g. 1, 2, 4)
+	MGWWorkers      int           // shared worker mesh size
+	MGWClients      int           // closed-loop clients per gateway
+	MGWRequests     int           // requests per client
+	MGWServiceTime  time.Duration // modeled per-job compute on a worker
+	MGWLinkLatency  time.Duration // gateway ↔ worker and peer-link propagation
+	MGWMaxInFlight  int           // per-gateway admission slots (the bottleneck)
+	MGWFailoverJobs int           // async jobs accepted before the mid-drain kill
+
 	// Replicated-placement experiment (internal/cluster replication).
 	ReplWorkers     int           // worker nodes (one is killed per configuration)
 	ReplObjects     int           // objects written before the kill
@@ -189,6 +200,15 @@ func DefaultScale() Scale {
 		StorLFCFracs:      []float64{0.25, 0.5, 1},
 		StorRemoteLatency: 2 * time.Millisecond,
 
+		MGWGateways:     []int{1, 2, 4},
+		MGWWorkers:      2,
+		MGWClients:      8,
+		MGWRequests:     20,
+		MGWServiceTime:  5 * time.Millisecond,
+		MGWLinkLatency:  200 * time.Microsecond,
+		MGWMaxInFlight:  4,
+		MGWFailoverJobs: 16,
+
 		ReplWorkers:     4,
 		ReplObjects:     96,
 		ReplBlobBytes:   4 << 10,
@@ -222,6 +242,10 @@ func PaperScale() Scale {
 	s.ClusterWorkers = 8
 	s.ClusterClients = 32
 	s.ClusterRequests = 50
+	s.MGWClients = 16
+	s.MGWRequests = 50
+	s.MGWWorkers = 4
+	s.MGWFailoverJobs = 64
 	s.ReplWorkers = 8
 	s.ReplObjects = 1024
 	s.ReplBlobBytes = 64 << 10
@@ -260,6 +284,7 @@ var Experiments = []struct {
 	{"replication", FigRepl},
 	{"storage", FigStorage},
 	{"trace", FigTrace},
+	{"multigw", FigMultiGW},
 }
 
 // Run executes one experiment by id.

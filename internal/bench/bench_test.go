@@ -168,7 +168,7 @@ func TestRunByID(t *testing.T) {
 	if _, err := Run("nope", tinyScale()); err == nil {
 		t.Fatal("unknown id should error")
 	}
-	if len(Experiments) != 13 {
+	if len(Experiments) != 14 {
 		t.Fatalf("experiments = %d", len(Experiments))
 	}
 }

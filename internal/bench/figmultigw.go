@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fixgo/internal/cluster"
+	"fixgo/internal/core"
+	"fixgo/internal/edgelog"
+	"fixgo/internal/gateway"
+	"fixgo/internal/jobs"
+	"fixgo/internal/runtime"
+	"fixgo/internal/transport"
+)
+
+// FigMultiGW is the replicated multi-gateway edge experiment (this
+// reproduction's own, not a paper figure): N fixgates — each an
+// admission-limited HTTP frontend joined into one replicated edge
+// (internal/edgelog) — front a single worker mesh, and closed-loop
+// clients spread across them submit unique jobs. Each gateway's
+// admission window (MGWMaxInFlight slots over an MGWServiceTime job) is
+// the serving bottleneck, so adding gateways over the same workers must
+// scale throughput near-linearly; the edge replication (membership
+// heartbeats plus cache-warm gossip) rides along and must not eat the
+// scaling.
+//
+// A final row measures the failover path: two edge-peered gateways,
+// MGWFailoverJobs async jobs accepted by gateway A, A killed
+// crash-style mid-drain. Measured is the time from the kill until every
+// accepted job is settled done on the survivor; the row fails the run
+// if any job is lost or left undone.
+func FigMultiGW(s Scale) (Result, error) {
+	res := Result{ID: "multigw", Title: "replicated multi-gateway edge: throughput scaling and failover"}
+	if len(s.MGWGateways) == 0 {
+		s.MGWGateways = []int{1, 2, 4}
+	}
+	var oneGW float64
+	for _, n := range s.MGWGateways {
+		row, thr, err := multiGWConfig(s, n)
+		if err != nil {
+			return res, err
+		}
+		if n == 1 {
+			oneGW = thr
+		} else if oneGW > 0 {
+			row.Detail += fmt.Sprintf(" (%.2f× 1-gw)", thr/oneGW)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	frow, fnote, err := multiGWFailover(s)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, frow)
+	res.Notes = append(res.Notes, fnote,
+		fmt.Sprintf("%d clients × %d requests per gateway, %d workers, %v service time, %v links, %d admission slots per gateway",
+			s.MGWClients, s.MGWRequests, s.MGWWorkers, s.MGWServiceTime, s.MGWLinkLatency, s.MGWMaxInFlight))
+	return res, nil
+}
+
+// mgwRegistry registers the modeled service-time procedure shared by
+// every configuration.
+func mgwRegistry(s Scale) *runtime.Registry {
+	reg := runtime.NewRegistry()
+	reg.RegisterFunc("mgwork", func(api core.API, input core.Handle) (core.Handle, error) {
+		entries, err := api.AttachTree(input)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		b, err := api.AttachBlob(entries[2])
+		if err != nil {
+			return core.Handle{}, err
+		}
+		time.Sleep(s.MGWServiceTime)
+		v, _ := core.DecodeU64(b)
+		return api.CreateBlob(core.LiteralU64(v * 2).LiteralData()), nil
+	})
+	return reg
+}
+
+// mgwEdge builds one gateway over the shared workers: a client-only
+// cluster node connected to every worker, fronted by an HTTP server.
+type mgwEdge struct {
+	srv  *gateway.Server
+	c    *gateway.Client
+	hs   *http.Server
+	node *cluster.Node
+}
+
+func (e *mgwEdge) close() {
+	_ = e.hs.Close()
+	_ = e.srv.Close()
+	e.node.Close()
+}
+
+func newMGWEdge(s Scale, reg *runtime.Registry, workers []*cluster.Node, id string, asyncWorkers int) (*mgwEdge, error) {
+	node := cluster.NewNode("node-"+id, cluster.NodeOptions{Cores: 1, ClientOnly: true, Registry: reg})
+	for _, w := range workers {
+		cluster.Connect(node, w, transport.LinkConfig{Latency: s.MGWLinkLatency})
+	}
+	srv, err := gateway.NewServer(gateway.Options{
+		Backend:               node,
+		CacheEntries:          4096,
+		MaxInFlight:           s.MGWMaxInFlight,
+		MaxQueue:              s.MGWClients * s.MGWRequests,
+		AsyncWorkers:          asyncWorkers,
+		EdgeID:                id,
+		EdgeHeartbeatInterval: 20 * time.Millisecond,
+		EdgeHeartbeatTimeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = srv.Close()
+		node.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(l) }()
+	return &mgwEdge{
+		srv:  srv,
+		c:    gateway.NewClient("http://" + l.Addr().String()),
+		hs:   hs,
+		node: node,
+	}, nil
+}
+
+// multiGWConfig measures one gateway count: unique jobs, closed-loop
+// clients pinned round-robin to gateways.
+func multiGWConfig(s Scale, gateways int) (Row, float64, error) {
+	reg := mgwRegistry(s)
+	workers := make([]*cluster.Node, s.MGWWorkers)
+	for i := range workers {
+		workers[i] = cluster.NewNode(fmt.Sprintf("w%d", i), cluster.NodeOptions{
+			Cores:    16,
+			Registry: reg,
+		})
+		defer workers[i].Close()
+	}
+	cluster.FullMesh(transport.LinkConfig{Latency: s.MGWLinkLatency}, workers...)
+
+	edges := make([]*mgwEdge, gateways)
+	for i := range edges {
+		e, err := newMGWEdge(s, reg, workers, fmt.Sprintf("gw-%d", i), 0)
+		if err != nil {
+			return Row{}, 0, err
+		}
+		defer e.close()
+		edges[i] = e
+	}
+	// Full-mesh edge peering: the replication traffic must ride along.
+	for i := 0; i < gateways; i++ {
+		for j := i + 1; j < gateways; j++ {
+			pa, pb := transport.Pipe(transport.LinkConfig{Latency: s.MGWLinkLatency})
+			edges[i].srv.AttachEdgePeer(pa)
+			edges[j].srv.AttachEdgePeer(pb)
+		}
+	}
+
+	ctx := context.Background()
+	var argID atomic.Uint64
+	buildJob := func(e *mgwEdge) (core.Handle, error) {
+		fn, err := e.c.PutBlob(ctx, core.NativeFunctionBlob("mgwork"))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		tree, err := e.c.PutTree(ctx, core.InvocationTree(core.DefaultLimits.Handle(), fn, core.LiteralU64(argID.Add(1))))
+		if err != nil {
+			return core.Handle{}, err
+		}
+		return core.Application(tree)
+	}
+
+	// The offered load scales with the gateway count — each gateway gets
+	// its own MGWClients closed-loop clients — so the per-gateway
+	// admission window, not the client count, is what caps throughput.
+	clients := s.MGWClients * gateways
+	total := clients * s.MGWRequests
+	latencies := make([]time.Duration, total)
+	var failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			e := edges[ci%gateways]
+			for ri := 0; ri < s.MGWRequests; ri++ {
+				job, err := buildJob(e)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				if _, err := e.c.Submit(ctx, job); err != nil {
+					failed.Add(1)
+					continue
+				}
+				latencies[ci*s.MGWRequests+ri] = time.Since(t0)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return Row{}, 0, fmt.Errorf("bench: multigw ×%d: %d requests failed", gateways, n)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	mean := sum / time.Duration(total)
+	thr := float64(total) / wall.Seconds()
+	row := Row{
+		System:   fmt.Sprintf("Fixgate edge ×%d", gateways),
+		Measured: mean,
+		Detail: fmt.Sprintf("%.0f req/s p50=%s p99=%s wall=%s",
+			thr, fmtDur(latencies[total/2]), fmtDur(latencies[total*99/100]), fmtDur(wall)),
+	}
+	return row, thr, nil
+}
+
+// multiGWFailover measures the takeover drain: kill the accepting
+// gateway mid-drain and time how long the survivor takes to settle every
+// accepted job.
+func multiGWFailover(s Scale) (Row, string, error) {
+	reg := mgwRegistry(s)
+	workers := make([]*cluster.Node, s.MGWWorkers)
+	for i := range workers {
+		workers[i] = cluster.NewNode(fmt.Sprintf("w%d", i), cluster.NodeOptions{
+			Cores:    16,
+			Registry: reg,
+		})
+		defer workers[i].Close()
+	}
+	cluster.FullMesh(transport.LinkConfig{Latency: s.MGWLinkLatency}, workers...)
+
+	// A accepts with one async worker (most jobs stay pending in its
+	// queue); B is the survivor with a real pool.
+	ea, err := newMGWEdge(s, reg, workers, "gw-a", 1)
+	if err != nil {
+		return Row{}, "", err
+	}
+	defer ea.close()
+	eb, err := newMGWEdge(s, reg, workers, "gw-b", s.MGWMaxInFlight)
+	if err != nil {
+		return Row{}, "", err
+	}
+	defer eb.close()
+	pa, pb := transport.Pipe(transport.LinkConfig{Latency: s.MGWLinkLatency})
+	ea.srv.AttachEdgePeer(pa)
+	eb.srv.AttachEdgePeer(pb)
+	if err := mgwWait(5*time.Second, func() bool {
+		return ea.srv.Stats().Edge.Live == 1 && eb.srv.Stats().Edge.Live == 1
+	}); err != nil {
+		return Row{}, "", fmt.Errorf("bench: multigw failover: peers never met: %w", err)
+	}
+
+	ctx := context.Background()
+	var argID atomic.Uint64
+	argID.Store(1 << 20) // keep failover args disjoint from the scaling rows
+	ids := make([]string, s.MGWFailoverJobs)
+	for i := range ids {
+		fn, err := ea.c.PutBlob(ctx, core.NativeFunctionBlob("mgwork"))
+		if err != nil {
+			return Row{}, "", err
+		}
+		tree, err := ea.c.PutTree(ctx, core.InvocationTree(core.DefaultLimits.Handle(), fn, core.LiteralU64(argID.Add(1))))
+		if err != nil {
+			return Row{}, "", err
+		}
+		th, err := core.Application(tree)
+		if err != nil {
+			return Row{}, "", err
+		}
+		js, err := ea.c.SubmitAsync(ctx, th)
+		if err != nil {
+			return Row{}, "", err
+		}
+		ids[i] = js.ID
+	}
+	if err := mgwWait(10*time.Second, func() bool {
+		return int(eb.srv.Stats().Edge.Entries) >= len(ids)
+	}); err != nil {
+		return Row{}, "", fmt.Errorf("bench: multigw failover: acceptance never replicated: %w", err)
+	}
+
+	// Crash A mid-drain: stop its queue, then sever the peer link without
+	// a Leave — B must detect the death from the link EOF.
+	kill := time.Now()
+	if err := ea.srv.Jobs().Close(); err != nil {
+		return Row{}, "", err
+	}
+	_ = pa.Close()
+
+	settled := func(id string) bool {
+		if v, ok := eb.srv.Jobs().Get(id); ok && v.State == jobs.StateDone {
+			return true
+		}
+		// Jobs A drained before the kill are settled in B's log without
+		// ever entering B's queue.
+		for _, e := range eb.srv.Edge().Entries() {
+			if e.Job == id && e.State == edgelog.EntryDone {
+				return true
+			}
+		}
+		return false
+	}
+	if err := mgwWait(30*time.Second, func() bool {
+		for _, id := range ids {
+			if !settled(id) {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return Row{}, "", fmt.Errorf("bench: multigw failover: accepted jobs lost across the takeover: %w", err)
+	}
+	drain := time.Since(kill)
+
+	st := eb.srv.Stats()
+	row := Row{
+		System:   "failover: kill 1 of 2 gateways mid-drain",
+		Measured: drain,
+		Detail:   fmt.Sprintf("%d accepted jobs settled on the survivor, %d adopted, 0 lost", len(ids), st.Edge.Adopted),
+	}
+	note := fmt.Sprintf("failover: %d async jobs, %d takeovers, %d adopted, heartbeat 20ms/300ms", len(ids), st.Edge.Takeovers, st.Edge.Adopted)
+	return row, note, nil
+}
+
+// mgwWait polls cond until true or the deadline passes.
+func mgwWait(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not met within %v", d)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigMultiGW pins the experiment's acceptance properties: two
+// gateways over the same workers must beat one by a clear margin
+// (> 1.5×) because each gateway's admission window is the bottleneck,
+// and the failover row must settle every accepted job on the survivor.
+func TestFigMultiGW(t *testing.T) {
+	s := tinyScale()
+	s.MGWGateways = []int{1, 2}
+	s.MGWWorkers = 2
+	s.MGWClients = 6
+	s.MGWRequests = 8
+	s.MGWServiceTime = 5 * time.Millisecond
+	s.MGWMaxInFlight = 2
+	s.MGWFailoverJobs = 8
+
+	res, err := FigMultiGW(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (2 gateway counts + failover)", len(res.Rows))
+	}
+	thr := make(map[string]float64)
+	for _, r := range res.Rows[:2] {
+		var v float64
+		if _, err := fmt.Sscanf(r.Detail, "%f req/s", &v); err != nil {
+			t.Fatalf("%s: unparseable detail %q", r.System, r.Detail)
+		}
+		thr[r.System] = v
+	}
+	one, two := thr["Fixgate edge ×1"], thr["Fixgate edge ×2"]
+	if one == 0 || two == 0 {
+		t.Fatalf("scaling rows missing: %v", thr)
+	}
+	if two < 1.5*one {
+		t.Errorf("2-gateway throughput %.0f req/s should be > 1.5× 1-gateway %.0f req/s", two, one)
+	}
+
+	fo := res.Rows[2]
+	if !strings.Contains(fo.System, "failover") {
+		t.Fatalf("last row %q is not the failover row", fo.System)
+	}
+	if fo.Measured <= 0 {
+		t.Errorf("failover drain time not measured: %+v", fo)
+	}
+	if !strings.Contains(fo.Detail, "0 lost") {
+		t.Errorf("failover row reports losses: %q", fo.Detail)
+	}
+	t.Log("\n" + res.String())
+}

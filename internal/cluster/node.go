@@ -541,6 +541,14 @@ func (n *Node) ViewOwners(h core.Handle) []string {
 	return n.view.Owners(keyOf(h))
 }
 
+// ResolvableHint reports whether a gossiped result handle could be
+// served by this node right now: resident in the local store (literals
+// always are) or locatable on a live peer via the passive object view.
+// Implements the gateway's HintResolver facet behind cache-warm gossip.
+func (n *Node) ResolvableHint(h core.Handle) bool {
+	return n.st.Contains(h) || len(n.ViewOwners(h)) > 0
+}
+
 func (n *Node) isClosed() bool {
 	select {
 	case <-n.done:

@@ -96,3 +96,55 @@ func (n *Node) ObjectBytes(ctx context.Context, h core.Handle) ([]byte, error) {
 	f := &clusterFetcher{n: n}
 	return f.Fetch(ctx, h)
 }
+
+// JobPayload collects the locally resident definition closure of an
+// accepted job — the invocation trees plus their blobs — bounded by a
+// budget like a delegation push set. The gateway replicates it inside
+// the job's edge-log entry so a peer adopting the job after this node
+// dies still has the bytes the handle names. Implements
+// gateway.JobPayloader.
+func (n *Node) JobPayload(h core.Handle) []proto.PushedObject {
+	const (
+		maxObjects = 1024
+		maxBytes   = 4 << 20
+	)
+	deps, _, ok := n.jobDeps(h)
+	if !ok {
+		return nil
+	}
+	out := make([]proto.PushedObject, 0, len(deps))
+	total := 0
+	for _, d := range deps {
+		if len(out) >= maxObjects {
+			break
+		}
+		data, err := n.st.ObjectBytes(d.h)
+		if err != nil || total+len(data) > maxBytes {
+			continue
+		}
+		out = append(out, proto.PushedObject{Handle: d.h, Data: data})
+		total += len(data)
+	}
+	return out
+}
+
+// AbsorbPayload ingests a replicated job payload ahead of a takeover:
+// every object is stored and advertised like an upload, so the adopted
+// job's evaluation — local or delegated — finds its definition
+// resident. Implements gateway.JobPayloader.
+func (n *Node) AbsorbPayload(objs []proto.PushedObject) {
+	if len(objs) == 0 {
+		return
+	}
+	adverts := make([]core.Handle, 0, len(objs))
+	for _, p := range objs {
+		if err := n.st.PutObject(p.Handle, p.Data); err != nil {
+			continue
+		}
+		n.touch(p.Handle)
+		adverts = append(adverts, p.Handle)
+	}
+	if len(adverts) > 0 {
+		n.broadcast(&proto.Message{Type: proto.TypeAdvertise, From: n.id, Adverts: adverts})
+	}
+}

@@ -1,8 +1,9 @@
 // Package docgate is the documentation quality gate run by CI's docs
 // job. Its tests fail the build when an exported identifier in the
-// gated packages — the serving tier (internal/jobs, internal/gateway)
-// and the distributed layers (internal/cluster, internal/objstore,
-// internal/transport, internal/durable) — lacks a doc comment, when a
+// gated packages — the serving tier (internal/jobs, internal/gateway,
+// internal/edgelog) and the distributed layers (internal/cluster,
+// internal/objstore, internal/transport, internal/durable) — lacks a
+// doc comment, when a
 // relative link in the top-level markdown docs (README.md,
 // ARCHITECTURE.md, BENCHMARKS.md, OPERATIONS.md) points at a file that
 // does not exist, or when a committed BENCH_<id>.json emission is

@@ -20,6 +20,7 @@ import (
 var gatedPackages = []string{
 	"../../internal/jobs",
 	"../../internal/gateway",
+	"../../internal/edgelog",
 	"../../internal/cluster",
 	"../../internal/objstore",
 	"../../internal/transport",
@@ -134,6 +135,7 @@ var gatedDocs = []string{
 var gatedBenchIDs = []string{
 	"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10",
 	"gateway", "durable", "jobs", "cluster", "replication", "storage", "trace",
+	"multigw",
 }
 
 // benchResult mirrors bench.JSONResult field for field; decoding with

@@ -51,6 +51,7 @@ func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
 		Backend:       edge,
 		CacheEntries:  16,
 		AsyncWorkers:  1,
+		EdgeID:        "lint-gw", // joins a (peerless) replicated edge so the fixgate_edge_* families emit
 		DurableStats:  func() durable.Stats { return durable.Stats{} },
 		PersistErrors: func() uint64 { return 0 },
 	})
@@ -102,6 +103,14 @@ func TestMetricFamiliesNamedAndDocumented(t *testing.T) {
 		"fixgate_storage_uploads_pending",
 		"fixgate_storage_demoted_total",
 		"fixgate_storage_tier_fetches_total",
+		"fixgate_edge_live",
+		"fixgate_edge_undrained",
+		"fixgate_edge_peer_lag",
+		"fixgate_edge_quorum_timeouts_total",
+		"fixgate_edge_takeovers_total",
+		"fixgate_edge_adopted_total",
+		"fixgate_edge_warm_applied_total",
+		"fixgate_edge_hint_stale_total",
 	}
 	emitted := map[string]bool{}
 	for _, f := range srv.Metrics().Snapshot() {

@@ -108,6 +108,12 @@ func (s *Server) handleSubmitAsync(w http.ResponseWriter, r *http.Request, t *te
 		}
 		return
 	}
+	if isNew && s.edge != nil {
+		// Replicate the acceptance before acking the 202: once the client
+		// holds the 202, a surviving peer must be able to adopt the job.
+		// Blocks for a peer quorum, bounded by EdgeAckTimeout.
+		s.edge.Accepted(v.ID, tenant, h, s.jobPayload(h))
+	}
 	reply := jobReply(v)
 	reply.Deduped = !isNew
 	w.Header().Set("Location", "/v1/jobs/"+v.ID)

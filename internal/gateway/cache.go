@@ -56,6 +56,13 @@ type CacheStats struct {
 type resultCache struct {
 	shards   []*cacheShard
 	capacity int
+	// onInsert, when set, observes every miss-path insert (a completed
+	// evaluation entering the cache) outside the shard lock. warm()
+	// inserts deliberately bypass it: the replicated edge uses this hook
+	// to gossip fresh memoizations, and re-gossiping entries that arrived
+	// *as* gossip (or from journal replay) would echo between gateways.
+	// Set before the cache serves traffic.
+	onInsert func(k, result core.Handle)
 }
 
 // cacheShard is one independently locked slice of the cache.
@@ -198,6 +205,9 @@ func (c *resultCache) publish(k core.Handle, f *flight) {
 	}
 	s.mu.Unlock()
 	close(f.done)
+	if f.err == nil && c.onInsert != nil {
+		c.onInsert(k, f.result)
+	}
 }
 
 // Do returns the cached result for h, or joins an in-flight evaluation,

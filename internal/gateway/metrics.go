@@ -148,6 +148,30 @@ func (s *Server) collectStats(emit func(obsv.Sample)) {
 		gauge("async_resumed", "Recovered jobs that re-entered the pending queue", float64(js.Resumed))
 	}
 
+	if st.Edge != nil {
+		es := st.Edge
+		gauge("edge_members", "Peer gateways ever seen on the edge channel", float64(es.Members))
+		gauge("edge_live", "Peer gateways currently passing liveness", float64(es.Live))
+		gauge("edge_entries", "Replicated edge-log entries resident", float64(es.Entries))
+		gauge("edge_undrained", "Accepted entries not yet settled (takeover exposure)", float64(es.Undrained))
+		counter("edge_appends_total", "Locally originated edge-log appends", float64(es.Appends))
+		counter("edge_replicated_total", "Edge-log entries folded in from peers", float64(es.Replicated))
+		counter("edge_acks_sent_total", "Append acknowledgements sent to peers", float64(es.AcksSent))
+		counter("edge_acks_received_total", "Append acknowledgements received from peers", float64(es.AcksReceived))
+		counter("edge_quorum_timeouts_total", "Appends acked to the client before a peer quorum confirmed", float64(es.QuorumTimeouts))
+		counter("edge_takeovers_total", "Dead-peer events handled", float64(es.Takeovers))
+		counter("edge_adopted_total", "Undrained jobs adopted from dead peers", float64(es.Adopted))
+		counter("edge_warm_sent_total", "Cache-warm hints broadcast to peers", float64(es.WarmSent))
+		counter("edge_warm_received_total", "Cache-warm hints received from peers", float64(es.WarmReceived))
+		counter("edge_warm_applied_total", "Received hints applied to the result cache", float64(es.WarmApplied))
+		counter("edge_warm_deferred_total", "Received hints parked awaiting a resolvable result", float64(es.WarmDeferred))
+		gauge("edge_hints_pending", "Deferred warm hints resident", float64(es.HintsPending))
+		gauge("edge_peer_lag", "Largest unacknowledged append backlog across live peers", float64(es.PeerLag))
+		gauge("edge_replayed", "Edge-log entries recovered from the journal at startup", float64(es.Replayed))
+		counter("edge_hint_hits_total", "Miss flights served by a deferred warm hint", float64(es.HintHits))
+		counter("edge_hint_stale_total", "Deferred hints still unresolvable at flight time", float64(es.HintStale))
+	}
+
 	if st.Durable != nil {
 		ds := st.Durable
 		gauge("durable_objects", "Distinct objects in the durable index", float64(ds.Objects))

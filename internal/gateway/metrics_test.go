@@ -172,6 +172,7 @@ func TestStatsMetricsParity(t *testing.T) {
 		Backend:       edge,
 		CacheEntries:  16,
 		AsyncWorkers:  2,
+		EdgeID:        "gw-parity",
 		DurableStats:  func() durable.Stats { return durable.Stats{} },
 		PersistErrors: func() uint64 { return 0 },
 	})
@@ -187,9 +188,9 @@ func TestStatsMetricsParity(t *testing.T) {
 	}
 
 	st := srv.Stats()
-	if st.Jobs == nil || st.Cluster == nil || st.Durable == nil || st.Storage == nil {
-		t.Fatalf("stats sections missing: jobs=%v cluster=%v durable=%v storage=%v",
-			st.Jobs != nil, st.Cluster != nil, st.Durable != nil, st.Storage != nil)
+	if st.Jobs == nil || st.Cluster == nil || st.Durable == nil || st.Storage == nil || st.Edge == nil {
+		t.Fatalf("stats sections missing: jobs=%v cluster=%v durable=%v storage=%v edge=%v",
+			st.Jobs != nil, st.Cluster != nil, st.Durable != nil, st.Storage != nil, st.Edge != nil)
 	}
 
 	aliases := map[string]string{
@@ -239,6 +240,14 @@ func TestStatsMetricsParity(t *testing.T) {
 	check("fixgate_cluster_", reflect.ValueOf(*st.Cluster))
 	check("fixgate_durable_", reflect.ValueOf(*st.Durable))
 	check("fixgate_storage_", reflect.ValueOf(*st.Storage))
+	// EdgeStats is checked at both levels: the embedded replicator
+	// snapshot (a struct field, which the reflection walk above skips)
+	// and the gateway-side hint counters declared on EdgeStats itself.
+	check("fixgate_edge_", reflect.ValueOf(st.Edge.Stats))
+	check("fixgate_edge_hint_", reflect.ValueOf(struct {
+		Hits  uint64 `json:"hits"`
+		Stale uint64 `json:"stale"`
+	}{st.Edge.HintHits, st.Edge.HintStale}))
 
 	for _, want := range []string{
 		"fixgate_tenant_jobs_total", "fixgate_tenant_hits_total",

@@ -14,6 +14,7 @@ import (
 	"fixgo/internal/cluster"
 	"fixgo/internal/core"
 	"fixgo/internal/durable"
+	"fixgo/internal/edgelog"
 	"fixgo/internal/jobs"
 	"fixgo/internal/obsv"
 	"fixgo/internal/storage"
@@ -66,6 +67,27 @@ type Options struct {
 	// TenantWeight, when set, maps a tenant to its fair-dequeue weight
 	// in the async queue (unset tenants weigh 1).
 	TenantWeight func(tenant string) int
+	// AsyncCloseGrace bounds how long Close waits for in-flight async
+	// evaluations to return after cancellation (default 5s; see
+	// jobs.Options.CloseGrace). On a replicated edge the wait must
+	// complete before the departure announcement goes out.
+	AsyncCloseGrace time.Duration
+	// EdgeID, when non-empty, joins this gateway to a replicated edge
+	// (internal/edgelog): accepted async jobs replicate to peer gateways
+	// for takeover on death, and memoized results gossip as cache-warm
+	// hints. Must be stable across restarts. Peers attach via
+	// AttachEdgePeer.
+	EdgeID string
+	// EdgeJournalPath, when non-empty, makes the local edge log durable
+	// (usually <data-dir>/edge.journal next to the jobs journal).
+	EdgeJournalPath string
+	// EdgeHeartbeatInterval / EdgeHeartbeatTimeout tune the edge
+	// membership view (defaults 1s / 5×interval).
+	EdgeHeartbeatInterval time.Duration
+	EdgeHeartbeatTimeout  time.Duration
+	// EdgeAckTimeout bounds how long an accepted job's replication waits
+	// for a peer quorum before acking the 202 anyway (default 2s).
+	EdgeAckTimeout time.Duration
 	// TraceEntries bounds the in-memory ring of finished request traces
 	// served at GET /v1/trace (default 512).
 	TraceEntries int
@@ -106,10 +128,18 @@ func (o Options) withDefaults() Options {
 // Handler, release with Close.
 type Server struct {
 	opts  Options
-	cache *resultCache  // nil when disabled
-	jobs  *jobs.Manager // nil when async serving is disabled
+	cache *resultCache        // nil when disabled
+	jobs  *jobs.Manager       // nil when async serving is disabled
+	edge  *edgelog.Replicator // nil when not part of a replicated edge
 	adm   *admission
 	mux   *http.ServeMux
+
+	// closeCtx bounds every detached backend flight to the server's
+	// lifetime: Close cancels it first, so no evaluation survives into
+	// the window where an edge peer adopts this gateway's jobs.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+	flights     atomic.Int64 // backend evaluations currently in flight
 
 	// Observability (initMetrics): every fixgate_* family lives in reg;
 	// tracer retains finished per-request traces for GET /v1/trace.
@@ -128,6 +158,8 @@ type Server struct {
 	jobsFailed atomic.Uint64
 	batches    atomic.Uint64
 	batchItems atomic.Uint64
+	hintHits   atomic.Uint64
+	hintStale  atomic.Uint64
 }
 
 // BatchStats is the /v1/jobs:batch accounting slice of the stats report.
@@ -166,7 +198,11 @@ type Stats struct {
 	// Storage is the tiered-storage snapshot (nil when the backend has no
 	// cold tier): LFC hit/miss/eviction counters, remote tier traffic,
 	// async upload queue, and demotion activity.
-	Storage *storage.Stats          `json:"storage,omitempty"`
+	Storage *storage.Stats `json:"storage,omitempty"`
+	// Edge is the replicated-edge snapshot (nil when this gateway is not
+	// part of one): membership, log size, replication and takeover
+	// counters, warm-hint gossip, and peer replication lag.
+	Edge    *EdgeStats              `json:"edge,omitempty"`
 	Tenants map[string]*TenantStats `json:"tenants"`
 }
 
@@ -203,10 +239,22 @@ func NewServer(opts Options) (*Server, error) {
 		adm:     newAdmission(opts.MaxInFlight, opts.MaxQueue),
 		tenants: newTenantLedger(),
 	}
+	s.closeCtx, s.closeCancel = context.WithCancel(context.Background())
 	if opts.CacheEntries > 0 {
 		s.cache = newResultCache(opts.CacheEntries, opts.CacheShards)
 	}
 	s.initMetrics()
+	if opts.EdgeID != "" {
+		if err := s.initEdge(opts); err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			// Every miss-path insert gossips as a cache-warm hint; warm()
+			// inserts (journal replay, applied hints) deliberately do not,
+			// or two gateways would echo each other's hints forever.
+			s.cache.onInsert = s.edge.GossipWarm
+		}
+	}
 	if opts.AsyncWorkers > 0 {
 		m, err := jobs.New(jobs.Options{
 			// The worker pool drains into the same evaluate path the
@@ -228,9 +276,14 @@ func NewServer(opts Options) (*Server, error) {
 					s.tracer.Finish(t)
 				}
 			},
+			// Terminal transitions replicate to peer gateways (no-op
+			// without an edge), settling the job's entry so no peer
+			// adopts finished work.
+			Observe:     s.observeSettled,
 			Workers:     opts.AsyncWorkers,
 			MaxQueue:    opts.AsyncQueueDepth,
 			MaxAttempts: opts.AsyncMaxAttempts,
+			CloseGrace:  opts.AsyncCloseGrace,
 			Weight:      opts.TenantWeight,
 			JournalPath: opts.JobsJournalPath,
 			Fsync:       opts.JobsFsync,
@@ -266,14 +319,55 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // in cmd/fixgate reads its recovery stats.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
-// Close stops the async worker pool and closes the jobs journal; pending
-// jobs stay journaled and resume on the next boot. The HTTP handler must
-// not be used after Close.
+// Close stops the async worker pool (draining in-flight evaluations, up
+// to AsyncCloseGrace), then leaves the replicated edge, and closes both
+// journals; pending jobs stay journaled and resume on the next boot.
+// The order is load-bearing: the edge's Leave broadcast tells peers to
+// adopt this gateway's undrained jobs, so it must go out only after the
+// local queue has truly stopped executing — jobs first, edge second —
+// or a peer could re-execute a job still running here. The HTTP handler
+// must not be used after Close.
+// Close shuts the serving paths down in the only order that gives a
+// takeover peer clean handoff semantics: cancel every detached backend
+// flight, drain the local queue (running jobs revert to pending and
+// journal), wait out the in-flight evaluations, and only then leave the
+// replicated edge. The Leave is what triggers peer adoption, so
+// everything this gateway might still be executing must have stopped
+// first — otherwise the adopter and this gateway overlap on the same
+// job.
 func (s *Server) Close() error {
+	s.closeCancel()
+	var err error
 	if s.jobs != nil {
-		return s.jobs.Close()
+		err = s.jobs.Close()
 	}
-	return nil
+	s.awaitFlights()
+	if s.edge != nil {
+		if eerr := s.edge.Close(); err == nil {
+			err = eerr
+		}
+	}
+	return err
+}
+
+// awaitFlights waits for cancelled backend flights to unwind, bounded
+// by AsyncCloseGrace — a backend that ignores cancellation must not
+// wedge Close (the jobs manager takes the same stance).
+func (s *Server) awaitFlights() {
+	grace := s.opts.AsyncCloseGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	deadline := time.Now().Add(grace)
+	for s.flights.Load() > 0 {
+		if time.Now().After(deadline) {
+			if s.opts.Logf != nil {
+				s.opts.Logf("gateway: close: abandoning %d in-flight evaluations after %v grace", s.flights.Load(), grace)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Warm pre-populates the result cache with a known (job → result)
@@ -321,6 +415,13 @@ func (s *Server) Stats() Stats {
 	}
 	if ss, ok := s.opts.Backend.(storageStatser); ok {
 		out.Storage = ss.StorageStats()
+	}
+	if s.edge != nil {
+		out.Edge = &EdgeStats{
+			Stats:     s.edge.Stats(),
+			HintHits:  s.hintHits.Load(),
+			HintStale: s.hintStale.Load(),
+		}
 	}
 	if s.opts.DurableStats != nil {
 		ds := s.opts.DurableStats()
@@ -600,12 +701,30 @@ func (s *Server) evaluate(ctx context.Context, h core.Handle, acquire func(conte
 	// evaluation, so it must not die with the leader's connection.
 	// Detach it from the request's cancellation (the admission queue
 	// bounds how many detached evaluations can pile up), and let each
-	// waiter's own ctx govern only its wait. WithoutCancel keeps
-	// context values, so the leader's trace rides into the flight and
-	// collects the queue_wait/backend_eval (and cluster) spans.
-	flightCtx := context.WithoutCancel(ctx)
+	// waiter's own ctx govern only its wait. The flight context keeps
+	// the leader's values — so its trace rides into the flight and
+	// collects the queue_wait/backend_eval (and cluster) spans — but
+	// takes its cancellation from the server's lifetime: Server.Close
+	// cancels every flight before leaving the replicated edge, so an
+	// adopting peer never runs a job this gateway is still evaluating.
+	flightCtx := flightContext{Context: s.closeCtx, values: ctx}
 	doStart := time.Now()
 	res, outcome, err := s.cache.Do(ctx, h, func() (core.Handle, error) {
+		s.flights.Add(1)
+		defer s.flights.Add(-1)
+		// A deferred warm hint (gossiped while its result was not yet
+		// resolvable here) gets one last look before the backend is paid:
+		// resolvable now → the flight is the hint; still stale → fall
+		// through, and the evaluation replaces the hint.
+		if s.edge != nil {
+			if hint, ok := s.edge.TakeHint(cacheKey(h)); ok {
+				if s.resolvableHint(hint) {
+					s.hintHits.Add(1)
+					return hint, nil
+				}
+				s.hintStale.Add(1)
+			}
+		}
 		sp := t.StartSpan("queue_wait", "")
 		err := acquire(flightCtx)
 		sp.End()
@@ -630,6 +749,17 @@ func (s *Server) evaluate(ctx context.Context, h core.Handle, acquire func(conte
 	}
 	return res, outcome, err
 }
+
+// flightContext detaches a backend flight from its leader's request:
+// Done/Err/Deadline come from the server's close context (the flight
+// dies with the server, not with the request), Value from the leader's
+// context (the trace rides along).
+type flightContext struct {
+	context.Context                 // the server's close context
+	values          context.Context // the leader's request context
+}
+
+func (c flightContext) Value(k any) any { return c.values.Value(k) }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, s.Stats())

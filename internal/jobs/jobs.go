@@ -175,6 +175,20 @@ type Options struct {
 	// anchored at the job's enqueue time, so queue wait is a visible
 	// span.
 	Trace func(ctx context.Context, j Job) (context.Context, func(err error))
+	// Observe, when set, receives every live terminal transition (done,
+	// dead-letter, cancelled) after the transition is journaled and —
+	// under FsyncAlways — flushed. Journal-replayed transitions are not
+	// observed. The gateway uses it to replicate settlements to peer
+	// gateways on the edge log.
+	Observe func(j Job)
+	// CloseGrace bounds how long Close waits for in-flight evaluations to
+	// return after their contexts are cancelled (default 5s). The wait is
+	// what makes a clean shutdown safe on a replicated edge: a peer that
+	// adopts this gateway's jobs after the shutdown announcement must not
+	// race an evaluation still executing here, so Close drains the
+	// backend flights before it returns. Giving up after the grace (a
+	// backend that ignores cancellation) is logged.
+	CloseGrace time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -195,6 +209,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FsyncEvery <= 0 {
 		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.CloseGrace <= 0 {
+		o.CloseGrace = 5 * time.Second
 	}
 	return o
 }
@@ -250,6 +267,7 @@ type Manager struct {
 	baseCtx  context.Context // cancelled on Close; parents every evaluation
 	baseStop context.CancelFunc
 	wg       sync.WaitGroup // workers + fsync ticker
+	evalWG   sync.WaitGroup // in-flight backend evaluations (drained by Close)
 	timersMu sync.Mutex
 	timers   map[*time.Timer]struct{} // outstanding retry timers
 }
@@ -687,6 +705,11 @@ func (m *Manager) Wait(ctx context.Context, id string, wait time.Duration) (Job,
 func (m *Manager) Cancel(id string) (Job, error) {
 	v, err := m.cancel(id)
 	m.syncAlways()
+	// A pending-cancel settles here; a running-cancel settles in the
+	// worker loop, which observes it there.
+	if err == nil && v.State.Terminal() && m.opts.Observe != nil {
+		m.opts.Observe(v)
+	}
 	return v, err
 }
 
@@ -806,8 +829,16 @@ func (m *Manager) Stats() Stats {
 	return st
 }
 
-// Close stops the workers, cancels running evaluations, and closes the
-// journal. Pending jobs stay journaled and resume on the next New.
+// Close stops the workers, cancels running evaluations, waits up to
+// CloseGrace for the cancelled backend flights to return, and closes
+// the journal. Pending jobs stay journaled and resume on the next New.
+//
+// The grace wait pins the no-double-execution window for replicated
+// edges: interrupted jobs revert to pending (in memory and, via replay,
+// in the journal), and only after their backend flights have actually
+// returned does Close return — so a shutdown sequence that announces
+// departure to peers *after* Close cannot let an adopting peer execute
+// a job this gateway is still executing.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -824,6 +855,18 @@ func (m *Manager) Close() error {
 	}
 	m.timersMu.Unlock()
 	m.wg.Wait()
+	drained := make(chan struct{})
+	go func() {
+		m.evalWG.Wait()
+		close(drained)
+	}()
+	grace := time.NewTimer(m.opts.CloseGrace)
+	defer grace.Stop()
+	select {
+	case <-drained:
+	case <-grace.C:
+		m.logf("jobs: close: abandoning in-flight evaluations after %v grace (backend ignores cancellation)", m.opts.CloseGrace)
+	}
 	if m.journal != nil {
 		return m.journal.Close()
 	}
@@ -881,7 +924,9 @@ func (m *Manager) worker() {
 			err    error
 		}
 		ch := make(chan evalOut, 1)
+		m.evalWG.Add(1)
 		go func() {
+			defer m.evalWG.Done()
 			r, err := m.opts.Eval(evalCtx, h)
 			ch <- evalOut{r, err}
 		}()
@@ -941,8 +986,12 @@ func (m *Manager) worker() {
 				m.scheduleRetryLocked(jb)
 			}
 		}
+		settled := jb.view
 		m.mu.Unlock()
 		m.syncAlways()
+		if m.opts.Observe != nil && settled.State.Terminal() {
+			m.opts.Observe(settled)
+		}
 	}
 }
 

@@ -545,3 +545,166 @@ func TestTerminalRetentionBound(t *testing.T) {
 		t.Errorf("resubmission of evicted job: new=%v err=%v, want fresh enqueue", isNew, err)
 	}
 }
+
+// TestCloseDrainsEvalsForTakeover pins the shutdown ordering a
+// replicated edge depends on: Close reverts interrupted jobs to pending
+// AND waits for their cancelled backend flights to actually return
+// before it comes back — so a peer that adopts this gateway's jobs
+// after Close cannot overlap an evaluation still executing here.
+func TestCloseDrainsEvalsForTakeover(t *testing.T) {
+	var inFlight, maxInFlight atomic.Int64
+	release := make(chan struct{})
+	m := newTestManager(t, Options{
+		Workers: 2,
+		Eval: func(ctx context.Context, h core.Handle) (core.Handle, error) {
+			if n := inFlight.Add(1); n > maxInFlight.Load() {
+				maxInFlight.Store(n)
+			}
+			defer inFlight.Add(-1)
+			select {
+			case <-ctx.Done():
+			case <-release:
+			}
+			return core.Handle{}, ctx.Err()
+		},
+	})
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.Submit("acme", testHandle(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Running != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The grace drain: when Close has returned, no backend flight may
+	// still be executing — this is what the adopting peer relies on.
+	if n := inFlight.Load(); n != 0 {
+		t.Fatalf("%d evaluations still in flight after Close returned", n)
+	}
+	// And the interrupted jobs reverted to pending, the state a takeover
+	// peer (or the next boot's replay) resumes from.
+	for i := 0; i < 2; i++ {
+		v, ok := m.Get(JobID("acme", testHandle(i)))
+		if !ok || v.State != StatePending {
+			t.Fatalf("job %d after close: %+v, want pending", i, v)
+		}
+	}
+}
+
+// TestCloseGraceAbandonsStuckEval: a backend that ignores cancellation
+// must not wedge shutdown forever — Close gives up after CloseGrace.
+func TestCloseGraceAbandonsStuckEval(t *testing.T) {
+	stuck := make(chan struct{})
+	defer close(stuck)
+	m := newTestManager(t, Options{
+		Workers:    1,
+		CloseGrace: 50 * time.Millisecond,
+		Eval: func(ctx context.Context, h core.Handle) (core.Handle, error) {
+			<-stuck // deliberately ignores ctx
+			return core.Handle{}, errors.New("stuck")
+		},
+	})
+	if _, _, err := m.Submit("acme", testHandle(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("Close blocked %v on a cancellation-deaf backend", took)
+	}
+}
+
+// TestObserveTerminalTransitions: the Observe hook fires exactly once
+// per live settlement — done, dead-letter, and cancelled — and never for
+// journal-replayed ones.
+func TestObserveTerminalTransitions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	var mu sync.Mutex
+	seen := map[string][]State{}
+	observe := func(j Job) {
+		mu.Lock()
+		seen[j.ID] = append(seen[j.ID], j.State)
+		mu.Unlock()
+	}
+	failEval := func(ctx context.Context, h core.Handle) (core.Handle, error) {
+		if h == testHandle(1) {
+			return core.Handle{}, errors.New("always fails")
+		}
+		return h, nil
+	}
+	m := newTestManager(t, Options{
+		JournalPath: path, Observe: observe, Eval: failEval,
+		MaxAttempts: 2, RetryDelay: time.Millisecond,
+	})
+	doneJob, _, _ := m.Submit("acme", testHandle(0))
+	deadJob, _, _ := m.Submit("acme", testHandle(1))
+	awaitState(t, m, doneJob.ID, StateDone)
+	awaitState(t, m, deadJob.ID, StateDeadLetter)
+	cancelJob, _, _ := m.Submit("acme", testHandle(2))
+	// Cancel can race the fast echo eval; either settlement is observed.
+	_, _ = m.Cancel(cancelJob.ID)
+	awaitTerminal := func(id string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(seen[id])
+			mu.Unlock()
+			if n > 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never observed", id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	awaitTerminal(cancelJob.ID)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	for id, states := range seen {
+		if len(states) != 1 {
+			t.Fatalf("job %s observed %d times: %v", id, len(states), states)
+		}
+	}
+	if got := seen[doneJob.ID]; len(got) != 1 || got[0] != StateDone {
+		t.Fatalf("done job observed as %v", got)
+	}
+	if got := seen[deadJob.ID]; len(got) != 1 || got[0] != StateDeadLetter {
+		t.Fatalf("dead-letter job observed as %v", got)
+	}
+	mu.Unlock()
+
+	// Reopen over the same journal: replayed settlements must not be
+	// re-observed.
+	var replayObserved atomic.Int64
+	m2 := newTestManager(t, Options{
+		JournalPath: path, Eval: failEval,
+		Observe: func(Job) { replayObserved.Add(1) },
+	})
+	if m2.Stats().Replayed == 0 {
+		t.Fatal("nothing replayed; test is vacuous")
+	}
+	if n := replayObserved.Load(); n != 0 {
+		t.Fatalf("replay fired Observe %d times", n)
+	}
+}

@@ -39,7 +39,48 @@ const (
 	// TypeReplicateAck confirms a replica is durably ingested at the
 	// sender.
 	TypeReplicateAck
+	// TypeEdgeHello introduces a gateway on the replicated-edge peer
+	// channel (the edge analogue of TypeHello).
+	TypeEdgeHello
+	// TypeEdgeAppend replicates a batch of edge-log entries to a peer
+	// gateway; Seq sequences the sender's appends for acknowledgement
+	// and lag tracking.
+	TypeEdgeAppend
+	// TypeEdgeAck acknowledges an EdgeAppend by the sender's Seq.
+	TypeEdgeAck
+	// TypeEdgeWarm gossips a cache-warm hint: Handle was memoized to
+	// Result on the sending gateway, so a peer can answer a repeat
+	// submission without re-evaluating.
+	TypeEdgeWarm
+	// TypeEdgeLeave announces a clean gateway shutdown, so peers can
+	// adopt its undrained jobs without waiting out a heartbeat timeout.
+	TypeEdgeLeave
 )
+
+// EdgeEntry is the wire form of one replicated edge-log entry: the
+// lifecycle position of an accepted async job, keyed by its
+// deterministic job ID so replicas fold entries commutatively.
+type EdgeEntry struct {
+	// Job is the deterministic job ID (jobs.JobID of tenant and handle).
+	Job string
+	// Origin is the gateway that appended the entry.
+	Origin string
+	// Tenant that submitted the job.
+	Tenant string
+	// State is the entry's lifecycle rank (edgelog.EntryState).
+	State byte
+	// AtNS is the origin's append timestamp in Unix nanoseconds.
+	AtNS int64
+	// Handle is the submitted computation.
+	Handle core.Handle
+	// Result is the evaluated answer; meaningful only for done entries.
+	Result core.Handle
+	// Objects carries the job's definition closure (trees plus blobs up
+	// to the origin's payload budget) for accepted entries, so a peer
+	// adopting the job after the origin dies can still execute it. Empty
+	// for terminal entries and for backends that resolve data mesh-wide.
+	Objects []PushedObject
+}
 
 // PushedObject is an object shipped inside a Job message.
 type PushedObject struct {
@@ -63,6 +104,8 @@ type Message struct {
 	Data    []byte         // Object/Replicate: payload bytes
 	Adverts []core.Handle  // Hello/Advertise
 	Pushed  []PushedObject // Job: definition closure
+	Seq     uint64         // EdgeAppend/EdgeAck: sender append sequence
+	Entries []EdgeEntry    // EdgeAppend: replicated edge-log entries
 }
 
 // Node roles carried in Hello messages.
@@ -120,8 +163,31 @@ func (m *Message) AppendEncode(buf []byte) []byte {
 		buf = append(buf, m.Result[:]...)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.EvalNS))
 		buf = appendString(buf, m.Err)
-	case TypePing, TypePong:
-		// Liveness probes carry only the sender identity.
+	case TypeEdgeAppend:
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Entries)))
+		for _, e := range m.Entries {
+			buf = appendString(buf, e.Job)
+			buf = appendString(buf, e.Origin)
+			buf = appendString(buf, e.Tenant)
+			buf = append(buf, e.State)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.AtNS))
+			buf = append(buf, e.Handle[:]...)
+			buf = append(buf, e.Result[:]...)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Objects)))
+			for _, p := range e.Objects {
+				buf = append(buf, p.Handle[:]...)
+				buf = appendBytes(buf, p.Data)
+			}
+		}
+	case TypeEdgeAck:
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	case TypeEdgeWarm:
+		buf = append(buf, m.Handle[:]...)
+		buf = append(buf, m.Result[:]...)
+	case TypePing, TypePong, TypeEdgeHello, TypeEdgeLeave:
+		// Liveness probes and edge membership events carry only the
+		// sender identity.
 	}
 	return buf
 }
@@ -175,7 +241,40 @@ func Decode(data []byte) (*Message, error) {
 		m.Result = d.handle()
 		m.EvalNS = int64(d.u64())
 		m.Err = d.str()
-	case TypePing, TypePong:
+	case TypeEdgeAppend:
+		m.Seq = d.u64()
+		n := d.u32()
+		if uint64(n)*(2*core.HandleSize) > uint64(len(data)) {
+			return nil, fmt.Errorf("proto: edge entry count %d too large", n)
+		}
+		m.Entries = make([]EdgeEntry, n)
+		for i := range m.Entries {
+			e := &m.Entries[i]
+			e.Job = d.str()
+			e.Origin = d.str()
+			e.Tenant = d.str()
+			e.State = d.u8()
+			e.AtNS = int64(d.u64())
+			e.Handle = d.handle()
+			e.Result = d.handle()
+			no := d.u32()
+			if uint64(no)*core.HandleSize > uint64(len(data)) {
+				return nil, fmt.Errorf("proto: edge object count %d too large", no)
+			}
+			if no > 0 {
+				e.Objects = make([]PushedObject, no)
+				for j := range e.Objects {
+					e.Objects[j].Handle = d.handle()
+					e.Objects[j].Data = d.bytes()
+				}
+			}
+		}
+	case TypeEdgeAck:
+		m.Seq = d.u64()
+	case TypeEdgeWarm:
+		m.Handle = d.handle()
+		m.Result = d.handle()
+	case TypePing, TypePong, TypeEdgeHello, TypeEdgeLeave:
 		// No payload beyond the sender identity.
 	default:
 		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)

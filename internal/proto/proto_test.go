@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"fixgo/internal/core"
@@ -184,5 +185,71 @@ func TestAdvertCountBomb(t *testing.T) {
 	raw[1+2+4+4] = 0xff
 	if _, err := Decode(raw); err == nil {
 		t.Fatal("expected advert bomb rejection")
+	}
+}
+
+func TestEdgeAppendRoundTrip(t *testing.T) {
+	tree := core.TreeHandle([]core.Handle{core.LiteralU64(3)})
+	thunk, _ := core.Application(tree)
+	enc, _ := core.Strict(thunk)
+	m := &Message{
+		Type: TypeEdgeAppend,
+		From: "gw-a",
+		Seq:  42,
+		Entries: []EdgeEntry{
+			{Job: "abc123", Origin: "gw-a", Tenant: "acme", State: 1, AtNS: 999, Handle: enc},
+			{Job: "def456", Origin: "gw-b", Tenant: "default", State: 4, AtNS: 1000, Handle: enc, Result: core.LiteralU64(7)},
+			{Job: "ghi789", Origin: "gw-a", Tenant: "acme", State: 1, AtNS: 1001, Handle: enc, Objects: []PushedObject{
+				{Handle: tree, Data: []byte("tree bytes")},
+				{Handle: core.BlobHandle(make([]byte, 64)), Data: make([]byte, 64)},
+			}},
+		},
+	}
+	got := roundTrip(t, m)
+	if got.From != "gw-a" || got.Seq != 42 || len(got.Entries) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range m.Entries {
+		if !reflect.DeepEqual(got.Entries[i], m.Entries[i]) {
+			t.Fatalf("entry %d: got %+v want %+v", i, got.Entries[i], m.Entries[i])
+		}
+	}
+}
+
+func TestEdgeAckWarmRoundTrip(t *testing.T) {
+	ack := roundTrip(t, &Message{Type: TypeEdgeAck, From: "gw-b", Seq: 17})
+	if ack.From != "gw-b" || ack.Seq != 17 {
+		t.Fatalf("ack: got %+v", ack)
+	}
+	tree := core.TreeHandle(nil)
+	thunk, _ := core.Application(tree)
+	enc, _ := core.Strict(thunk)
+	warm := roundTrip(t, &Message{Type: TypeEdgeWarm, From: "gw-a", Handle: enc, Result: core.LiteralU64(9)})
+	if warm.Handle != enc || warm.Result != core.LiteralU64(9) {
+		t.Fatalf("warm: got %+v", warm)
+	}
+}
+
+func TestEdgeMembershipRoundTrip(t *testing.T) {
+	for _, typ := range []byte{TypeEdgeHello, TypeEdgeLeave} {
+		got := roundTrip(t, &Message{Type: typ, From: "gw-x"})
+		if got.Type != typ || got.From != "gw-x" {
+			t.Fatalf("type %d: got %+v", typ, got)
+		}
+	}
+}
+
+func TestEdgeEntryCountBomb(t *testing.T) {
+	m := &Message{Type: TypeEdgeAppend, From: "gw-a", Seq: 1}
+	buf := m.Encode()
+	// Rewrite the entry count (after type byte, From string, and Seq) to
+	// a bomb value; decode must refuse rather than allocate.
+	off := 1 + 2 + len("gw-a") + 8
+	buf[off] = 0xff
+	buf[off+1] = 0xff
+	buf[off+2] = 0xff
+	buf[off+3] = 0x7f
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("expected error for entry-count bomb")
 	}
 }

@@ -162,6 +162,29 @@ func Dial(addr string) (Conn, error) {
 	return NewTCP(c), nil
 }
 
+// DialRetry dials addr, retrying every `every` until a connection is
+// established or `giveUp` elapses (measured from the first attempt).
+// Gateway peers boot in arbitrary order, so the first dial of a
+// replicated-edge mesh routinely races the peer's listener; a bounded
+// retry loop absorbs that without shelling the ordering problem out to
+// an init system. giveUp <= 0 means exactly one attempt (plain Dial).
+func DialRetry(addr string, every, giveUp time.Duration) (Conn, error) {
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(giveUp)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if giveUp <= 0 || time.Now().Add(every).After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: gave up after %v: %w", addr, giveUp, err)
+		}
+		time.Sleep(every)
+	}
+}
+
 func (t *tcpConn) Send(msg []byte) error {
 	if len(msg) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds max %d", len(msg), MaxFrame)

@@ -215,3 +215,81 @@ func TestTCPLargeFrame(t *testing.T) {
 		t.Fatalf("1MB round trip failed: %d bytes, %v", len(got), err)
 	}
 }
+
+func TestDialRetryWaitsForListener(t *testing.T) {
+	// Reserve an address, close it, and bring the listener up only after
+	// DialRetry's first attempts have failed — the dial must land once
+	// the listener exists.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(150 * time.Millisecond)
+		l, err := Listen(addr)
+		if err != nil {
+			return // the port was re-claimed; the dial error path covers us
+		}
+		defer l.Close()
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		msg, _ := c.Recv()
+		c.Send(msg)
+		c.Close()
+	}()
+
+	conn, err := DialRetry(addr, 20*time.Millisecond, 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetry never connected: %v", err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("late-boot")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Recv()
+	if err != nil || !bytes.Equal(got, []byte("late-boot")) {
+		t.Fatalf("echo through retried dial: %q, %v", got, err)
+	}
+	<-done
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	start := time.Now()
+	if _, err := DialRetry(addr, 10*time.Millisecond, 100*time.Millisecond); err == nil {
+		t.Fatal("expected DialRetry to give up on a dead address")
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("give-up took %v, want ~100ms", took)
+	}
+}
+
+func TestDialRetrySingleAttempt(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	start := time.Now()
+	if _, err := DialRetry(addr, 50*time.Millisecond, 0); err == nil {
+		t.Fatal("expected immediate failure with giveUp=0")
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("single attempt took %v", took)
+	}
+}
